@@ -1,0 +1,68 @@
+"""Helpers shared by the experiment benches."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from repro.analysis.runner import AggregateRow, RunRecord, aggregate, sweep
+from repro.analysis.tables import Table
+
+#: Where tables are written (repo-root results/ when run from the repo).
+RESULTS_DIR = os.environ.get(
+    "REPRO_RESULTS_DIR",
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results"),
+)
+
+#: Seeds used by every experiment (w.h.p. claims need several).
+SEEDS = [0, 1, 2]
+
+
+def standard_sweep(
+    algorithms: Sequence[str], ns: Sequence[int], seeds: Sequence[int] = SEEDS, **kw
+) -> List[RunRecord]:
+    """The common sweep shape with model-checking off for speed (the test
+    suite pins model validity; benches measure)."""
+    return sweep(algorithms, ns, seeds, check_model=False, **kw)
+
+
+def emit(table: Table, exp_id: str) -> str:
+    """Print the table and persist it under results/."""
+    return table.emit(exp_id, RESULTS_DIR)
+
+
+def rounds_table(rows: List[AggregateRow], title: str, caption: str = "") -> Table:
+    """The default per-(algorithm, n) aggregate table."""
+    table = Table(
+        title=title,
+        columns=[
+            "algorithm",
+            "n",
+            "spread rounds",
+            "sched rounds",
+            "msgs/node",
+            "bits/node",
+            "maxΔ",
+            "success",
+        ],
+        caption=caption,
+    )
+    return table
+
+
+def fill_rounds_table(table: Table, rows: List[AggregateRow], records: List[RunRecord]) -> None:
+    sched = {}
+    for rec in records:
+        sched.setdefault((rec.algorithm, rec.n), []).append(rec.rounds)
+    for row in rows:
+        mean_sched = sum(sched[(row.algorithm, row.n)]) / row.runs
+        table.add(
+            row.algorithm,
+            row.n,
+            f"{row.spread_rounds.mean:.1f}±{row.spread_rounds.ci95_halfwidth():.1f}",
+            f"{mean_sched:.1f}",
+            f"{row.messages_per_node.mean:.2f}",
+            f"{row.bits_per_node.mean:.0f}",
+            row.max_fanin,
+            f"{row.success_rate:.2f}",
+        )

@@ -1,0 +1,70 @@
+"""E2 — message-complexity vs n (Theorem 2's O(1) messages per node).
+
+Claims reproduced:
+
+* Cluster2 sends O(1) messages per node — a flat curve;
+* Karp et al.'s median-counter sends Theta(log log n) per node;
+* PUSH (no local stopping rule) sends Theta(log n) per node — a curve
+  that visibly grows with n;
+* the Avin-Elsässer profile sends Theta(sqrt(log n)) per node.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from bench_common import SEEDS, emit, standard_sweep
+from repro.analysis.runner import aggregate, series
+from repro.analysis.tables import Table
+from repro.core.broadcast import broadcast
+
+NS = [2**8, 2**10, 2**12, 2**14, 2**16]
+ALGOS = ["push", "median-counter", "avin-elsasser", "cluster1", "cluster2"]
+
+
+@pytest.fixture(scope="module")
+def records():
+    return standard_sweep(ALGOS, NS, SEEDS)
+
+
+def test_e2_table(records):
+    rows = aggregate(records)
+    table = Table(
+        title="E2: messages per node vs n",
+        columns=["algorithm"] + [f"n=2^{int(math.log2(n))}" for n in NS] + ["paper"],
+        caption=(
+            "Messages = content-carrying transmissions ([10]'s counting). "
+            "Cluster2 stays flat (O(1)); push grows with log n."
+        ),
+    )
+    paper = {
+        "push": "Θ(log n)",
+        "median-counter": "O(log log n)",
+        "avin-elsasser": "Θ(√log n)",
+        "cluster1": "ω(1)",
+        "cluster2": "O(1)",
+    }
+    curves = {}
+    for algo in ALGOS:
+        ns, ys = series(rows, algo, "messages_per_node")
+        curves[algo] = ys
+        table.add(algo, *[f"{y:.1f}" for y in ys], paper[algo])
+    emit(table, "E2_messages")
+
+    # Shape assertions: cluster2 flat, push growing, push ends above cluster2's growth.
+    c2 = curves["cluster2"]
+    assert max(c2) <= 1.45 * min(c2) + 2, "Cluster2 messages/node must stay O(1)-flat"
+    push = curves["push"]
+    assert push[-1] - push[0] >= 0.4 * (math.log2(NS[-1]) - math.log2(NS[0]))
+    mc = curves["median-counter"]
+    assert (mc[-1] - mc[0]) < (push[-1] - push[0]), "median-counter grows slower than push"
+
+
+def test_e2_cluster2_message_count(benchmark):
+    def run():
+        return broadcast(2**13, "cluster2", seed=1, check_model=False)
+
+    report = benchmark(run)
+    assert report.messages_per_node <= 40

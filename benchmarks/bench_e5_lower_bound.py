@@ -1,0 +1,71 @@
+"""E5 — the Ω(log log n) lower bound (Theorem 3/15).
+
+Claim reproduced: any algorithm — even one with unlimited messages that
+contacts every known node per round — needs at least ``~0.99 log log n``
+rounds.  We materialise the proof object (the union graph of random
+samples and its ``2^T``-ball growth, Lemma 14) and measure, per seed, the
+*minimum feasible* round count of an omniscient algorithm.  The witness:
+
+    theorem bound  <=  min feasible T  <=  O(log log n)   (Cluster1 exists)
+
+and the measured T grows with n.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from bench_common import emit
+from repro.analysis.tables import Table
+from repro.core.lower_bound import ball_growth, min_feasible_rounds, theorem3_bound
+
+NS = [2**8, 2**10, 2**12, 2**14, 2**16, 2**18]
+SEEDS = [0, 1, 2, 3, 4]
+
+
+@pytest.fixture(scope="module")
+def feasibility():
+    return {n: [min_feasible_rounds(n, seed=s) for s in SEEDS] for n in NS}
+
+
+def test_e5_table(feasibility):
+    table = Table(
+        title="E5: minimum feasible rounds (omniscient bound) vs Theorem 3",
+        columns=["n", "lower bound (thm 15)", "min feasible T", "log2 log2 n"],
+        caption=(
+            "min feasible T = first T whose 2^T-ball in the T-round union "
+            "graph covers all nodes; any gossip algorithm needs >= T rounds."
+        ),
+    )
+    for n in NS:
+        ts = feasibility[n]
+        table.add(
+            n,
+            f"{theorem3_bound(n):.2f}",
+            f"{min(ts)}..{max(ts)}",
+            f"{math.log2(math.log2(n)):.2f}",
+        )
+    emit(table, "E5_lower_bound")
+
+    growth = ball_growth(2**14, 8, seed=0)
+    ball_table = Table(
+        title="E5b: knowledge-ball growth (Lemma 14) at n=2^14",
+        columns=["round t", "max informed = |B_{2^t}(source)|", "fraction"],
+        caption="Reach at best squares per round: the doubly-exponential ceiling.",
+    )
+    for t, reach in enumerate(growth.reach):
+        ball_table.add(t, reach, f"{reach / 2**14:.6f}")
+    emit(ball_table, "E5b_ball_growth")
+
+    for n in NS:
+        for t in feasibility[n]:
+            assert t >= theorem3_bound(n), "an algorithm would beat Theorem 3!"
+            assert t <= 2 * math.log2(math.log2(n)) + 2
+    assert min(feasibility[NS[-1]]) >= max(feasibility[NS[0]]) - 1  # grows with n
+
+
+def test_e5_feasibility_run(benchmark):
+    t = benchmark(lambda: min_feasible_rounds(2**14, seed=0))
+    assert t >= 2

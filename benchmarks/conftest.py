@@ -1,0 +1,19 @@
+"""Shared configuration for the benchmark/experiment harness.
+
+Each ``bench_e*.py`` module regenerates one experiment from DESIGN.md §3:
+it renders the experiment's table (printed and saved under ``results/``)
+and registers a pytest-benchmark timing of a representative run.  Run
+
+    pytest benchmarks/ --benchmark-only
+
+to regenerate everything; the tables land in ``results/E*.txt`` and are
+summarised in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+# Allow `from bench_common import ...` within the benchmarks directory.
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Fault tolerance (paper §8, Theorem 19): gossip through a failure storm.
+
+An oblivious adversary kills a growing fraction of the cluster before the
+broadcast starts; Cluster2 must still inform all but o(F) survivors while
+keeping its round/message budget.  This is the "membership update during
+a correlated failure" scenario from the workload presets.
+
+    python examples/fault_tolerant_broadcast.py [n]
+"""
+
+import sys
+
+from repro import broadcast
+from repro.analysis.tables import Table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 2**13
+
+    table = Table(
+        title=f"Cluster2 under oblivious node failures (n={n})",
+        columns=[
+            "failed F",
+            "F/n",
+            "survivors informed",
+            "uninformed",
+            "uninformed/F",
+            "rounds",
+            "msgs/node",
+        ],
+        caption="Theorem 19: all but o(F) survivors are informed.",
+    )
+    for fraction in (0.0, 0.01, 0.05, 0.10, 0.20, 0.30):
+        failures = int(fraction * n)
+        report = broadcast(
+            n=n,
+            algorithm="cluster2",
+            seed=1,
+            failures=failures,
+            source=None,  # the rumor starts at a surviving node
+        )
+        table.add(
+            failures,
+            f"{fraction:.2f}",
+            f"{report.informed_fraction:.4f}",
+            report.uninformed_survivors,
+            f"{report.uninformed_survivors / failures:.4f}" if failures else "-",
+            report.rounds,
+            f"{report.messages_per_node:.1f}",
+        )
+    print(table.render())
+    print()
+    print(
+        "Note how the guarantees degrade gracefully: even with 30% of the\n"
+        "network dead before the first round, the surviving nodes converge\n"
+        "on one cluster and the uninformed remainder is a tiny fraction of F."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Experiment harness: sweeps, statistics, curve fitting, tables.
+
+* :mod:`repro.analysis.runner` — run ``algorithm x n x seed`` sweeps into
+  flat :class:`~repro.analysis.runner.RunRecord` rows;
+* :mod:`repro.analysis.stats` — summaries and confidence intervals;
+* :mod:`repro.analysis.theory` — the paper's predicted growth shapes
+  (``log log n``, ``sqrt(log n)``, ``log n``) with least-squares fits and a
+  growth-class classifier used by the shape assertions;
+* :mod:`repro.analysis.tables` — ASCII tables written to ``results/``.
+"""
+
+from repro.analysis.runner import RunRecord, aggregate, sweep
+from repro.analysis.stats import Summary, mean_ci, summarize
+from repro.analysis.tables import Table, render_table
+from repro.analysis.theory import FitResult, best_growth_class, fit_growth
+
+__all__ = [
+    "FitResult",
+    "RunRecord",
+    "Summary",
+    "Table",
+    "aggregate",
+    "best_growth_class",
+    "fit_growth",
+    "mean_ci",
+    "render_table",
+    "summarize",
+    "sweep",
+]

@@ -1,0 +1,153 @@
+"""Experiment sweeps: ``algorithm x n x seed`` grids into flat records.
+
+Every bench builds on :func:`sweep`; records are plain dataclasses so
+tables, fits and tests consume them without pandas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.stats import Summary, summarize
+from repro.core.broadcast import broadcast
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One execution's headline figures."""
+
+    algorithm: str
+    n: int
+    seed: int
+    rounds: int
+    spread_rounds: int
+    messages: int
+    messages_per_node: float
+    bits: int
+    max_fanin: int
+    informed_fraction: float
+    success: bool
+    extras: Dict[str, Any] = field(default_factory=dict)
+
+
+def run_once(
+    algorithm: str,
+    n: int,
+    seed: int,
+    *,
+    message_bits: int = 256,
+    failures: int = 0,
+    check_model: bool = True,
+    **kwargs: Any,
+) -> RunRecord:
+    """Run one configuration through :func:`repro.core.broadcast.broadcast`."""
+    report = broadcast(
+        n,
+        algorithm,
+        seed=seed,
+        message_bits=message_bits,
+        failures=failures,
+        check_model=check_model,
+        **kwargs,
+    )
+    keep_extras = {
+        k: v
+        for k, v in report.extras.items()
+        if isinstance(v, (int, float, str, bool))
+    }
+    return RunRecord(
+        algorithm=algorithm,
+        n=n,
+        seed=seed,
+        rounds=report.rounds,
+        spread_rounds=report.spread_rounds,
+        messages=report.messages,
+        messages_per_node=report.messages_per_node,
+        bits=report.bits,
+        max_fanin=report.max_fanin,
+        informed_fraction=report.informed_fraction,
+        success=report.success,
+        extras=keep_extras,
+    )
+
+
+def sweep(
+    algorithms: Sequence[str],
+    ns: Sequence[int],
+    seeds: Sequence[int],
+    *,
+    message_bits: int = 256,
+    failures: int = 0,
+    check_model: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+    **kwargs: Any,
+) -> List[RunRecord]:
+    """Full grid sweep; deterministic given the seed list."""
+    records: List[RunRecord] = []
+    for algorithm in algorithms:
+        for n in ns:
+            for seed in seeds:
+                records.append(
+                    run_once(
+                        algorithm,
+                        n,
+                        seed,
+                        message_bits=message_bits,
+                        failures=failures,
+                        check_model=check_model,
+                        **kwargs,
+                    )
+                )
+                if progress is not None:
+                    progress(f"{algorithm} n={n} seed={seed} done")
+    return records
+
+
+@dataclass(frozen=True)
+class AggregateRow:
+    """Per-(algorithm, n) summary across seeds."""
+
+    algorithm: str
+    n: int
+    runs: int
+    spread_rounds: Summary
+    messages_per_node: Summary
+    bits_per_node: Summary
+    max_fanin: int
+    success_rate: float
+
+
+def aggregate(records: Iterable[RunRecord]) -> List[AggregateRow]:
+    """Group records by (algorithm, n), summarising across seeds."""
+    groups: Dict[tuple, List[RunRecord]] = {}
+    for rec in records:
+        groups.setdefault((rec.algorithm, rec.n), []).append(rec)
+    rows: List[AggregateRow] = []
+    for (algorithm, n), recs in sorted(groups.items(), key=lambda kv: (kv[0][0], kv[0][1])):
+        rows.append(
+            AggregateRow(
+                algorithm=algorithm,
+                n=n,
+                runs=len(recs),
+                spread_rounds=summarize([r.spread_rounds for r in recs]),
+                messages_per_node=summarize([r.messages_per_node for r in recs]),
+                bits_per_node=summarize([r.bits / r.n for r in recs]),
+                max_fanin=max(r.max_fanin for r in recs),
+                success_rate=sum(r.success for r in recs) / len(recs),
+            )
+        )
+    return rows
+
+
+def series(
+    rows: Iterable[AggregateRow], algorithm: str, value: str = "spread_rounds"
+) -> "tuple[list[int], list[float]]":
+    """Extract the (ns, means) curve of one algorithm from aggregates."""
+    pts = [
+        (row.n, getattr(row, value).mean)
+        for row in rows
+        if row.algorithm == algorithm
+    ]
+    pts.sort()
+    return [p[0] for p in pts], [p[1] for p in pts]

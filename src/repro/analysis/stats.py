@@ -1,0 +1,85 @@
+"""Summary statistics for repeated randomized runs.
+
+The paper's guarantees are w.h.p. statements; empirically we run each
+configuration across several seeds and report mean, spread, and a normal
+approximation confidence interval.  (Seeds are few, so the CIs are coarse
+guides, not rigorous bounds — benches report them alongside min/max.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95% CI of the mean."""
+        if self.count <= 1:
+            return float("inf") if self.count == 0 else 0.0
+        return 1.96 * self.std / math.sqrt(self.count)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.3f} ± {self.ci95_halfwidth():.3f} "
+            f"[{self.minimum:.3f}, {self.maximum:.3f}] (k={self.count})"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` (sample std, ddof=1)."""
+    vals = [float(v) for v in values]
+    if not vals:
+        return Summary(0, float("nan"), float("nan"), float("nan"), float("nan"))
+    k = len(vals)
+    mean = sum(vals) / k
+    if k == 1:
+        std = 0.0
+    else:
+        std = math.sqrt(sum((v - mean) ** 2 for v in vals) / (k - 1))
+    return Summary(k, mean, std, min(vals), max(vals))
+
+
+def mean_ci(values: Sequence[float]) -> "tuple[float, float]":
+    """(mean, 95% CI half-width)."""
+    s = summarize(values)
+    return s.mean, s.ci95_halfwidth()
+
+
+def success_rate(flags: Sequence[bool]) -> float:
+    """Fraction of successful runs."""
+    flags = list(flags)
+    if not flags:
+        return float("nan")
+    return sum(bool(f) for f in flags) / len(flags)
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> "tuple[float, float]":
+    """Wilson score interval for a success probability.
+
+    Preferred over the normal interval at the small trial counts used in
+    the w.h.p. success-rate checks.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes out of range")
+    p = successes / trials
+    denom = 1 + z * z / trials
+    centre = (p + z * z / (2 * trials)) / denom
+    half = (
+        z
+        * math.sqrt(p * (1 - p) / trials + z * z / (4 * trials * trials))
+        / denom
+    )
+    return max(0.0, centre - half), min(1.0, centre + half)

@@ -1,0 +1,80 @@
+"""ASCII result tables, printed and persisted under ``results/``.
+
+Every bench renders its experiment as a :class:`Table` — the "rows/series
+the paper reports" artifact required by the reproduction — and writes it
+to ``results/<exp_id>.txt`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+#: Default output directory (repo-root relative when run from the repo).
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", "results")
+
+
+@dataclass
+class Table:
+    """A titled grid of cells with a caption."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    caption: str = ""
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows, self.caption)
+
+    def save(self, exp_id: str, directory: Optional[str] = None) -> str:
+        """Write the rendered table to ``<directory>/<exp_id>.txt``."""
+        directory = directory or RESULTS_DIR
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"{exp_id}.txt")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.render() + "\n")
+        return path
+
+    def emit(self, exp_id: str, directory: Optional[str] = None) -> str:
+        """Print and save; returns the rendered text."""
+        text = self.render()
+        print(text)
+        self.save(exp_id, directory)
+        return text
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        if cell != cell:  # NaN
+            return "nan"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def render_table(
+    title: str, columns: Sequence[str], rows: Sequence[Sequence[Any]], caption: str = ""
+) -> str:
+    """Monospace grid with a title rule and optional caption."""
+    cells = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(str(col)) for col in columns]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-" * len(header)
+    lines = [title, "=" * len(title), header, rule]
+    for row in cells:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    if caption:
+        lines.extend(["", caption])
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Baseline gossip algorithms the paper compares against.
+
+* :mod:`repro.baselines.uniform_push` / :mod:`repro.baselines.uniform_pull`
+  / :mod:`repro.baselines.push_pull` — the classic ``Theta(log n)``-round
+  protocols of the random phone call model [12, Pittel 1987];
+* :mod:`repro.baselines.median_counter` — Karp, Schindelhauer, Shenker,
+  Vöcking [10, FOCS 2000]: ``Theta(log n)`` rounds with only
+  ``O(log log n)`` messages per node;
+* :mod:`repro.baselines.avin_elsasser` — a documented reconstruction of
+  Avin & Elsässer [1, DISC 2013]: ``Theta(sqrt(log n))`` rounds with
+  ``Theta(sqrt(log n))`` messages per node using direct addressing;
+* :mod:`repro.baselines.name_dropper` — Harchol-Balter, Leighton, Lewin
+  [9, PODC 1999] resource discovery (``O(log^2 n)`` rounds), included as
+  the classic direct-addressing point of reference.
+"""
+
+from repro.baselines.avin_elsasser import avin_elsasser
+from repro.baselines.median_counter import median_counter
+from repro.baselines.name_dropper import name_dropper
+from repro.baselines.push_pull import uniform_push_pull
+from repro.baselines.uniform_pull import uniform_pull
+from repro.baselines.uniform_push import uniform_push
+
+__all__ = [
+    "avin_elsasser",
+    "median_counter",
+    "name_dropper",
+    "uniform_pull",
+    "uniform_push",
+    "uniform_push_pull",
+]

@@ -1,0 +1,154 @@
+"""The median-counter algorithm of Karp et al. [10] (FOCS 2000).
+
+``Theta(log n)`` rounds with only ``O(log log n)`` rumor transmissions per
+node — the message-complexity benchmark Cluster2 beats (Theorem 2 sends
+O(1) per node by exploiting direct addressing, which [10] does not have).
+
+Each round every node calls one uniformly random partner; the call is a
+bidirectional push-pull exchange of (rumor, state, counter).  States per
+node:
+
+* **uninformed** — pulls only; adopting the rumor enters B with counter 1;
+* **B (counter m)** — pushes and pulls.  *Median rule*: if more than half
+  of the informed partners it exchanged with this round have counter
+  greater than m or are in state C, the counter increments.  Reaching
+  ``ctr_max = ceil(log2 log2 n) + 4`` switches to C;
+* **C** — keeps transmitting for another ``O(log log n)`` rounds, then
+  goes quiet (D).
+
+The doubly-logarithmic counter cap is what bounds per-node transmissions:
+a node's counter lags the population median by O(1) w.h.p., and all
+counters advance in lock-step once the rumor saturates.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.result import AlgorithmReport, report_from_sim
+from repro.sim.delivery import receive_counts
+from repro.sim.engine import Simulator
+from repro.sim.protocol import VectorProtocol, run_protocol
+from repro.sim.trace import Trace, null_trace
+
+# Node states.
+UNINFORMED, STATE_B, STATE_C, STATE_D = 0, 1, 2, 3
+
+
+class MedianCounterProtocol(VectorProtocol):
+    """Vectorised median-counter state machine."""
+
+    name = "median-counter"
+
+    def __init__(self, sim: Simulator, source: int) -> None:
+        n = sim.net.n
+        ll = math.log2(max(math.log2(max(n, 4)), 2.0))
+        self.ctr_max = math.ceil(ll) + 1
+        self.c_rounds = math.ceil(ll) + 1
+        self.state = np.zeros(n, dtype=np.int8)
+        self.counter = np.zeros(n, dtype=np.int64)
+        self.c_countdown = np.zeros(n, dtype=np.int64)
+        if sim.net.alive[source]:
+            self.state[source] = STATE_B
+            self.counter[source] = 1
+        self._alive = sim.net.alive
+
+    # ------------------------------------------------------------------
+
+    def step(self, sim: Simulator) -> None:
+        n = sim.net.n
+        rumor_bits = sim.net.sizes.rumor_bits + sim.net.sizes.counter()
+        alive = self._alive
+        transmitting = ((self.state == STATE_B) | (self.state == STATE_C)) & alive
+        quiet = ~transmitting & alive
+
+        callers = np.flatnonzero(alive & (self.state != STATE_D))
+        partners = sim.random_targets(callers)
+
+        push_mask = transmitting[callers]
+        with sim.round("median-counter") as r:
+            # Forward half: transmitting callers push the rumor.
+            delivery = r.push(
+                callers[push_mask], partners[push_mask], rumor_bits
+            )
+            # Return half: any caller whose partner transmits receives the
+            # rumor back on the same channel (free-riding pull).
+            answered = r.pull(
+                callers,
+                partners,
+                rumor_bits,
+                transmitting[partners],
+                counts_initiation=False,
+            ).answered
+
+        # --- Collect, per node, the counters it was exposed to ---------
+        # Exposures: pushes received, plus the pull responses received.
+        exp_dst = np.concatenate([delivery.dsts, callers[answered]])
+        exp_src = np.concatenate([delivery.srcs, partners[answered]])
+
+        # New infections.
+        newly = np.zeros(n, dtype=bool)
+        newly[exp_dst] = True
+        newly &= self.state == UNINFORMED
+        # Median rule for state-B nodes: count exposures with counter not
+        # smaller than own (or from state C), vs. total exposures.  The >=
+        # is essential: at saturation all counters are equal and must
+        # advance in lock-step so the rumor ages out in O(log log n) rounds.
+        in_b = self.state == STATE_B
+        greater = (
+            (self.counter[exp_src] >= self.counter[exp_dst])
+            | (self.state[exp_src] == STATE_C)
+        ).astype(np.int64)
+        total_exposures = receive_counts(n, exp_dst)
+        greater_exposures = np.bincount(exp_dst, weights=greater, minlength=n)
+        advance = in_b & (2 * greater_exposures > total_exposures)
+
+        self.state[newly] = STATE_B
+        self.counter[newly] = 1
+        self.counter[advance] += 1
+        to_c = in_b & (self.counter > self.ctr_max)
+        self.state[to_c] = STATE_C
+        self.c_countdown[to_c] = self.c_rounds
+        in_c = self.state == STATE_C
+        self.c_countdown[in_c] -= 1
+        self.state[in_c & (self.c_countdown <= 0)] = STATE_D
+
+    def done(self) -> bool:
+        informed = self.state != UNINFORMED
+        if not informed[self._alive].all():
+            return False
+        # Quiescence: nobody transmitting any more.
+        active = (self.state == STATE_B) | (self.state == STATE_C)
+        return not active[self._alive].any()
+
+    def informed_mask(self) -> np.ndarray:
+        return (self.state != UNINFORMED) & self._alive
+
+    def progress(self) -> float:
+        alive = int(self._alive.sum())
+        return float(self.informed_mask().sum() / alive) if alive else 1.0
+
+
+def median_counter_round_cap(n: int) -> int:
+    """W.h.p. cap: O(log n) spreading plus the counter run-out."""
+    return math.ceil(3 * math.log2(max(n, 2))) + 20
+
+
+def median_counter(
+    sim: Simulator, source: int = 0, *, trace: Trace = None, max_rounds: int = None
+) -> AlgorithmReport:
+    """Run the median-counter algorithm to quiescence."""
+    trace = trace if trace is not None else null_trace()
+    protocol = MedianCounterProtocol(sim, source)
+    cap = max_rounds if max_rounds is not None else median_counter_round_cap(sim.net.n)
+    with sim.metrics.phase("median-counter"):
+        run_protocol(protocol, sim, max_rounds=cap, trace=trace)
+    return report_from_sim(
+        "median-counter",
+        sim,
+        protocol.informed_mask(),
+        trace,
+        ctr_max=protocol.ctr_max,
+    )

@@ -1,0 +1,138 @@
+"""Command-line entry point: ``python -m repro.cli <command> ...``.
+
+Commands:
+
+* ``run`` — one broadcast with full phase breakdown;
+* ``sweep`` — an algorithm x n x seed grid, rendered as a table;
+* ``scenario`` — a named workload preset;
+* ``lower-bound`` — the Section 6 feasibility experiment;
+* ``list`` — algorithms and scenarios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.runner import aggregate, sweep
+from repro.analysis.tables import Table
+from repro.core.broadcast import algorithm_names, broadcast
+from repro.core.lower_bound import min_feasible_rounds, theorem3_bound
+from repro.workloads.scenarios import SCENARIOS, run_scenario
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    report = broadcast(
+        args.n,
+        args.algorithm,
+        seed=args.seed,
+        message_bits=args.message_bits,
+        failures=args.failures,
+    )
+    print(report)
+    print()
+    print(report.metrics.phase_report())
+    return 0 if report.informed_fraction > 0 else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    records = sweep(
+        args.algorithms,
+        args.ns,
+        list(range(args.seeds)),
+        message_bits=args.message_bits,
+    )
+    table = Table(
+        title="sweep",
+        columns=["algorithm", "n", "spread rounds", "msgs/node", "bits/node", "maxΔ", "success"],
+    )
+    for row in aggregate(records):
+        table.add(
+            row.algorithm,
+            row.n,
+            f"{row.spread_rounds.mean:.1f}",
+            f"{row.messages_per_node.mean:.2f}",
+            f"{row.bits_per_node.mean:.0f}",
+            row.max_fanin,
+            f"{row.success_rate:.2f}",
+        )
+    print(table.render())
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    report = run_scenario(args.name, seed=args.seed)
+    print(SCENARIOS[args.name].description)
+    print(report)
+    print()
+    print(report.metrics.phase_report())
+    return 0
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    table = Table(
+        title="Theorem 3: minimum feasible rounds (omniscient upper bound on any algorithm)",
+        columns=["n", "min feasible T", "0.99 loglog n bound", "seeds"],
+    )
+    for n in args.ns:
+        ts = [min_feasible_rounds(n, seed=s) for s in range(args.seeds)]
+        table.add(n, f"{min(ts)}..{max(ts)}", f"{theorem3_bound(n):.2f}", args.seeds)
+    print(table.render())
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("algorithms:")
+    for name in algorithm_names():
+        print(f"  {name}")
+    print("scenarios:")
+    for name, sc in sorted(SCENARIOS.items()):
+        print(f"  {name}: {sc.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Optimal Gossip with Direct Addressing — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one broadcast")
+    p_run.add_argument("--n", type=int, default=4096)
+    p_run.add_argument("--algorithm", default="cluster2", choices=algorithm_names())
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--message-bits", type=int, default=256)
+    p_run.add_argument("--failures", type=int, default=0)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_sweep = sub.add_parser("sweep", help="algorithm x n x seed grid")
+    p_sweep.add_argument("--algorithms", nargs="+", default=["push-pull", "cluster2"])
+    p_sweep.add_argument("--ns", nargs="+", type=int, default=[2**10, 2**12, 2**14])
+    p_sweep.add_argument("--seeds", type=int, default=3)
+    p_sweep.add_argument("--message-bits", type=int, default=256)
+    p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_sc = sub.add_parser("scenario", help="run a named workload")
+    p_sc.add_argument("name", choices=sorted(SCENARIOS))
+    p_sc.add_argument("--seed", type=int, default=0)
+    p_sc.set_defaults(func=_cmd_scenario)
+
+    p_lb = sub.add_parser("lower-bound", help="Theorem 3 feasibility experiment")
+    p_lb.add_argument("--ns", nargs="+", type=int, default=[2**10, 2**14, 2**18])
+    p_lb.add_argument("--seeds", type=int, default=5)
+    p_lb.set_defaults(func=_cmd_lower_bound)
+
+    p_list = sub.add_parser("list", help="list algorithms and scenarios")
+    p_list.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

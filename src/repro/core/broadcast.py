@@ -1,0 +1,150 @@
+"""One-call public API: build a network, run an algorithm, get a report.
+
+    >>> from repro import broadcast
+    >>> result = broadcast(n=4096, algorithm="cluster2", seed=7)
+    >>> result.success, result.rounds, round(result.messages_per_node, 1)
+    (True, ..., ...)
+
+Algorithms are looked up in :data:`ALGORITHMS`; the registry spans the
+paper's algorithms and every baseline, so sweeps in
+:mod:`repro.analysis.runner` can iterate uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.constants import LAPTOP, Profile, get_profile
+from repro.core.result import AlgorithmReport
+from repro.sim.engine import Simulator
+from repro.sim.failures import apply_pattern
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network
+from repro.sim.rng import derive_seed, make_rng
+from repro.sim.trace import Trace
+
+#: Re-exported so ``from repro import BroadcastResult`` reads naturally.
+BroadcastResult = AlgorithmReport
+
+
+def _registry() -> Dict[str, Callable]:
+    """Name -> runner(sim, source, profile, trace) for every algorithm.
+
+    Built lazily so that :mod:`repro.baselines` (which imports
+    :mod:`repro.core.result`) does not create an import cycle.
+    """
+    from repro.baselines.avin_elsasser import avin_elsasser
+    from repro.baselines.median_counter import median_counter
+    from repro.baselines.uniform_pull import uniform_pull
+    from repro.baselines.uniform_push import uniform_push
+    from repro.baselines.push_pull import uniform_push_pull
+    from repro.core.cluster1 import cluster1
+    from repro.core.cluster2 import cluster2
+    from repro.core.cluster_push_pull import cluster3_broadcast
+
+    def _wrap_plain(fn):
+        def run(sim, source, profile, trace, **kw):
+            return fn(sim, source, trace=trace, **kw)
+
+        return run
+
+    def _wrap_profiled(fn):
+        def run(sim, source, profile, trace, **kw):
+            return fn(sim, source, profile=profile, trace=trace, **kw)
+
+        return run
+
+    def _cluster3(sim, source, profile, trace, **kw):
+        delta = kw.pop("delta", max(8, int(round(sim.net.n ** 0.5))))
+        return cluster3_broadcast(
+            sim, delta, source, profile=profile, trace=trace, **kw
+        )
+
+    return {
+        "cluster1": _wrap_profiled(cluster1),
+        "cluster2": _wrap_profiled(cluster2),
+        "cluster3": _cluster3,
+        "push": _wrap_plain(uniform_push),
+        "pull": _wrap_plain(uniform_pull),
+        "push-pull": _wrap_plain(uniform_push_pull),
+        "median-counter": _wrap_plain(median_counter),
+        "avin-elsasser": _wrap_plain(avin_elsasser),
+    }
+
+
+def algorithm_names() -> "list[str]":
+    """Names accepted by :func:`broadcast`."""
+    return sorted(_registry())
+
+
+def broadcast(
+    n: int,
+    algorithm: str = "cluster2",
+    *,
+    seed: int = 0,
+    source: Optional[int] = 0,
+    message_bits: int = 256,
+    failures: int = 0,
+    failure_pattern: str = "random",
+    profile: "Profile | str" = LAPTOP,
+    trace: Optional[Trace] = None,
+    check_model: bool = True,
+    **algorithm_kwargs,
+) -> AlgorithmReport:
+    """Broadcast a ``message_bits``-bit rumor from ``source`` to all nodes.
+
+    Parameters
+    ----------
+    n:
+        Network size.
+    algorithm:
+        One of :func:`algorithm_names` (default the paper's Cluster2).
+    seed:
+        Master seed; network addressing, failures and the algorithm's coins
+        all derive deterministic substreams from it.
+    source:
+        Index of the initially informed node, or None for a uniformly
+        random *surviving* node (Theorem 19's setting: the rumor starts at
+        some live node).
+    message_bits:
+        Rumor size ``b`` (must be positive; the paper assumes
+        ``b = Omega(log n)``).
+    failures:
+        Number of nodes an oblivious adversary fails before the start
+        (Section 8).
+    failure_pattern:
+        ``"random"``, ``"prefix"`` or ``"smallest-uids"``.
+    profile:
+        Constant-resolution profile or its name.
+    check_model:
+        Enable the engine's one-initiation-per-round validation.
+    algorithm_kwargs:
+        Extra knobs forwarded to the algorithm (e.g. ``delta=64`` for
+        ``cluster3``).
+    """
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    registry = _registry()
+    if algorithm not in registry:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(registry)}"
+        )
+    if source is not None and not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n={n}")
+
+    net = Network(n, rng=derive_seed(seed, "net"), rumor_bits=message_bits)
+    if failures:
+        apply_pattern(net, failure_pattern, failures, derive_seed(seed, "fail"))
+    if source is None:
+        alive = net.alive_indices()
+        source = int(alive[make_rng(derive_seed(seed, "source")).integers(len(alive))])
+    sim = Simulator(
+        net,
+        make_rng(derive_seed(seed, "algo")),
+        Metrics(n),
+        check_model=check_model,
+    )
+    report = registry[algorithm](sim, source, profile, trace, **algorithm_kwargs)
+    report.extras.setdefault("seed", seed)
+    report.extras.setdefault("failures", failures)
+    return report

@@ -1,0 +1,88 @@
+"""Cluster1 — the simple O(log log n)-round gossip algorithm (Algorithm 1).
+
+The phase recipe (paper, Section 4.1):
+
+1. **GrowInitialClusters** — seed a ``1/(C log n)`` fraction of nodes as
+   singleton clusters, PUSH-recruit for ``Theta(log log n)`` rounds; ~90%
+   of nodes end up in clusters of size ``>= C' log n`` (Lemma 5).
+2. **SquareClusters** — repeatedly square the cluster size via
+   activate-(1/s) + two PUSH/merge repetitions until ``s > sqrt(n/log n)``
+   (Lemma 6).
+3. **MergeAllClusters** — two PUSH/min-merge repetitions coalesce all
+   clusters into the smallest-ID one (Lemma 7).
+4. **UnclusteredNodesPull** — the remaining unclustered nodes PULL their
+   way in within ``Theta(log log n)`` rounds (Lemma 8).
+5. **ClusterShare(message)** — the rumor reaches everyone through the one
+   cluster (Theorem 9).
+
+Not message-optimal (a constant fraction of nodes transmits most rounds) —
+that is Cluster2's job.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.core.constants import LAPTOP, Cluster1Params, Profile
+from repro.core.grow import grow_initial_clusters_v1
+from repro.core.merge_phase import merge_all_clusters
+from repro.core.primitives import cluster_share_rumor
+from repro.core.pull_phase import unclustered_nodes_pull
+from repro.core.result import AlgorithmReport, report_from_sim
+from repro.core.square import square_clusters_v1
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace, null_trace
+
+
+def cluster1(
+    sim: Simulator,
+    source: int = 0,
+    *,
+    profile: Profile = LAPTOP,
+    params: Optional[Cluster1Params] = None,
+    trace: Trace = None,
+) -> AlgorithmReport:
+    """Run Cluster1 and broadcast the rumor held by ``source``.
+
+    Parameters
+    ----------
+    sim:
+        A fresh simulator (its metrics must be empty).
+    source:
+        The node initially holding the rumor.
+    profile:
+        Constant resolution (:data:`~repro.core.constants.LAPTOP` default).
+    params:
+        Explicit parameter override (ignores ``profile``).
+    trace:
+        Optional execution trace.
+    """
+    trace = trace if trace is not None else null_trace()
+    p = params if params is not None else profile.cluster1(sim.net.n)
+    cl = Clustering(sim.net)
+
+    grow_initial_clusters_v1(sim, cl, p, trace)
+    square_report = square_clusters_v1(sim, cl, p, trace)
+    merge_reps = merge_all_clusters(sim, cl, reps=p.merge_reps, trace=trace)
+    unclustered_nodes_pull(sim, cl, p.pull_rounds, trace)
+
+    informed = np.zeros(sim.net.n, dtype=bool)
+    if sim.net.alive[source]:
+        informed[source] = True
+    with sim.metrics.phase("share"):
+        informed = cluster_share_rumor(sim, cl, informed)
+
+    trace.emit(sim.metrics.rounds, "done", clusters=cl.cluster_count())
+    return report_from_sim(
+        "cluster1",
+        sim,
+        informed,
+        trace,
+        clustering=cl,
+        square_iterations=square_report.iterations,
+        merge_reps=merge_reps,
+        final_clusters=cl.cluster_count(),
+    )

@@ -1,0 +1,86 @@
+"""Cluster2 — optimal rounds *and* messages *and* bits (Algorithm 2).
+
+Same recipe as Cluster1 with the message-thrift modifications of
+Section 5.1:
+
+1. **GrowInitialClusters** (size-controlled) — far fewer seeds
+   (``1/(C log^4 n)``); clusters measure their own growth and stop
+   recruiting once big and slowing, which self-limits the clustered
+   population to a ``Theta(1/log n)`` fraction (Lemma 11) so the chatty
+   phases only ever involve ``o(n)`` senders per round.
+2. **SquareClusters** — as Cluster1 but merging into a *random* received
+   ID; growth per iteration is ``Theta(s^2/log n) = omega(s^1.5)``, still
+   ``Theta(log log n)`` iterations (Lemma 12).
+3. **MergeAllClusters** — unchanged (Lemma 7).
+4. **BoundedClusterPush** — the giant cluster PUSH-expands to a constant
+   fraction of the network, stopping at growth < 1.1 (Lemma 13); this is
+   what makes the final PULL phase O(n)-message.
+5. **UnclusteredNodesPull** + **ClusterShare(message)**.
+
+Together: ``O(log log n)`` rounds, ``O(1)`` messages/node, ``O(nb)`` bits
+(Theorem 2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.core.constants import LAPTOP, Cluster2Params, Profile
+from repro.core.grow import grow_initial_clusters_v2
+from repro.core.merge_phase import merge_all_clusters
+from repro.core.primitives import cluster_share_rumor
+from repro.core.pull_phase import bounded_cluster_push, unclustered_nodes_pull
+from repro.core.result import AlgorithmReport, report_from_sim
+from repro.core.square import square_clusters_v2
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace, null_trace
+
+
+def cluster2(
+    sim: Simulator,
+    source: int = 0,
+    *,
+    profile: Profile = LAPTOP,
+    params: Optional[Cluster2Params] = None,
+    trace: Trace = None,
+) -> AlgorithmReport:
+    """Run Cluster2 and broadcast the rumor held by ``source``.
+
+    See :func:`repro.core.cluster1.cluster1` for the common parameters.
+    """
+    trace = trace if trace is not None else null_trace()
+    p = params if params is not None else profile.cluster2(sim.net.n)
+    cl = Clustering(sim.net)
+
+    grow_initial_clusters_v2(sim, cl, p, trace)
+    square_report = square_clusters_v2(sim, cl, p, trace)
+    merge_reps = merge_all_clusters(sim, cl, reps=p.merge_reps, trace=trace)
+    bounded_cluster_push(
+        sim,
+        cl,
+        growth_stop=p.bounded_push_growth_stop,
+        rounds_cap=p.bounded_push_rounds_cap,
+        trace=trace,
+    )
+    unclustered_nodes_pull(sim, cl, p.pull_rounds, trace)
+
+    informed = np.zeros(sim.net.n, dtype=bool)
+    if sim.net.alive[source]:
+        informed[source] = True
+    with sim.metrics.phase("share"):
+        informed = cluster_share_rumor(sim, cl, informed)
+
+    trace.emit(sim.metrics.rounds, "done", clusters=cl.cluster_count())
+    return report_from_sim(
+        "cluster2",
+        sim,
+        informed,
+        trace,
+        clustering=cl,
+        square_iterations=square_report.iterations,
+        merge_reps=merge_reps,
+        final_clusters=cl.cluster_count(),
+    )

@@ -1,0 +1,150 @@
+"""Cluster3(Δ) — computing a Θ(Δ)-clustering (Algorithm 4, Section 7).
+
+Direct addressing lets one node answer up to ``n-1`` requests per round;
+Section 7 studies capping that fan-in at ``Δ``.  Cluster3 computes a
+*Δ-clustering* — every node clustered, all cluster sizes Θ(Δ) — in
+``O(log log n)`` rounds and O(n) messages while never having a node talk to
+more than Δ peers in a round (Theorem 18).  The clustering is then the
+substrate for :mod:`repro.core.cluster_push_pull`'s
+``O(log n / log Δ)``-round broadcast, matching the Lemma 16 lower bound.
+
+Recipe: Cluster2's grow and square phases, stopped early at size
+``sqrt(Δ log n)/C''`` — then one activate/push/random-merge round lifts
+sizes to ``Θ(Δ/C'')`` (Procedure MergeClusters), BoundedClusterPush
+recruits the unclustered majority under a continuous ClusterResize that
+keeps sizes (hence leader fan-in) bounded, UnclusteredNodesPull catches
+stragglers, and a final ClusterResize normalises.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.core.constants import LAPTOP, Cluster3Params, Profile
+from repro.core.grow import grow_initial_clusters_v2
+from repro.core.merge_phase import merge_to_delta_clusters
+from repro.core.primitives import cluster_resize
+from repro.core.pull_phase import bounded_cluster_push, unclustered_nodes_pull
+from repro.core.square import square_clusters_v2
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace, null_trace
+
+
+@dataclass
+class DeltaClusteringReport:
+    """Shape of the Δ-clustering Cluster3 produced."""
+
+    delta: int
+    target_size: int
+    clusters: int
+    min_size: int
+    max_size: int
+    unclustered: int
+    rounds: int
+    messages: int
+    max_fanin: int
+
+    @property
+    def all_clustered(self) -> bool:
+        return self.unclustered == 0
+
+    @property
+    def sizes_within_theta_delta(self) -> bool:
+        """Sizes within [target/2, 2*target] — the Θ(Δ) guarantee with the
+        constants of our profile (Definition 1 up to C'')."""
+        return self.min_size >= max(1, self.target_size // 2) and (
+            self.max_size <= 2 * self.target_size
+        )
+
+
+def cluster3(
+    sim: Simulator,
+    delta: int,
+    *,
+    profile: Profile = LAPTOP,
+    params: Optional[Cluster3Params] = None,
+    trace: Trace = None,
+) -> "tuple[Clustering, DeltaClusteringReport]":
+    """Compute a Θ(Δ)-clustering (Algorithm 4).
+
+    Requires ``delta >= 8`` (the paper assumes ``Δ = log^{ω(1)} n``; below
+    ~8 the Θ(Δ) size bands collapse) and ``delta <= n**0.9`` (Section 7's
+    convention — for larger Δ just run Cluster2).
+    """
+    trace = trace if trace is not None else null_trace()
+    n = sim.net.n
+    if delta < 8:
+        raise ValueError(f"delta must be >= 8, got {delta}")
+    if delta > int(n**0.9):
+        raise ValueError(
+            f"delta={delta} too large for n={n}; use Cluster2 instead (paper §7)"
+        )
+    p3 = params if params is not None else profile.cluster3(n, delta)
+    p2 = profile.cluster2(n)
+    # The paper requires Δ = log^{ω(1)} n: Δ must dominate the polylog
+    # cluster sizes of the grow phase, else their coordination fan-in
+    # already exceeds Δ.  The laptop-scale analogue of that regime floor:
+    if p3.target_size < p2.big_size:
+        min_delta = int(math.ceil(delta / max(p3.target_size, 1)) * p2.big_size)
+        raise ValueError(
+            f"delta={delta} is below the Δ = log^ω(1) n regime for n={n}: "
+            f"need Δ/C'' = {p3.target_size} >= grow-phase cluster size "
+            f"{p2.big_size} (use delta >= {min_delta})"
+        )
+    cl = Clustering(sim.net)
+
+    grow_initial_clusters_v2(sim, cl, p2, trace)
+    square_report = square_clusters_v2(sim, cl, p2, trace, stop_at=p3.square_until)
+    # Nominal size reached by the squaring loop (>= its floor even when the
+    # loop body never ran because the floor already exceeded the target).
+    s = max(p2.square_floor, square_report.final_nominal_size)
+    s = min(s, max(2, p3.target_size))  # never activate with prob > ~1
+
+    merge_to_delta_clusters(sim, cl, p3, s, trace)
+    bounded_cluster_push(
+        sim,
+        cl,
+        growth_stop=p3.bounded_push_growth_stop,
+        rounds_cap=p3.bounded_push_rounds_cap,
+        resize_to=p3.target_size,
+        trace=trace,
+    )
+    unclustered_nodes_pull(sim, cl, p3.pull_rounds, trace, resize_to=p3.target_size)
+    with sim.metrics.phase("final-resize"):
+        cluster_resize(sim, cl, p3.target_size)
+
+    report = delta_clustering_report(sim, cl, p3)
+    trace.emit(
+        sim.metrics.rounds,
+        "cluster3.done",
+        clusters=report.clusters,
+        min_size=report.min_size,
+        max_size=report.max_size,
+        unclustered=report.unclustered,
+    )
+    return cl, report
+
+
+def delta_clustering_report(
+    sim: Simulator, cl: Clustering, params: Cluster3Params
+) -> DeltaClusteringReport:
+    """Measure the clustering against the Θ(Δ) definition."""
+    leaders = cl.leaders()
+    sizes = cl.sizes()[leaders] if len(leaders) else np.zeros(0, dtype=np.int64)
+    return DeltaClusteringReport(
+        delta=params.delta,
+        target_size=params.target_size,
+        clusters=int(len(leaders)),
+        min_size=int(sizes.min()) if len(sizes) else 0,
+        max_size=int(sizes.max()) if len(sizes) else 0,
+        unclustered=int(len(cl.unclustered())),
+        rounds=sim.metrics.rounds,
+        messages=sim.metrics.messages,
+        max_fanin=sim.metrics.max_fanin,
+    )

@@ -1,0 +1,188 @@
+"""Clustering state (paper, Section 3.1).
+
+A clustering partitions the nodes into disjoint clusters, each with a
+*leader* known to all its members, plus a set of *unclustered* nodes.  The
+entire structure is carried by one per-node variable ``follow``:
+
+* ``follow[v] == UNCLUSTERED`` — v is unclustered (the paper's ∞);
+* ``follow[v] == v``           — v is a cluster leader;
+* otherwise                    — v follows leader ``follow[v]``.
+
+The *ID of a cluster* is the uid of its leader; the *size* of a cluster is
+its member count (leader included).  An ``active`` flag per cluster (stored
+at the leader, established by ``ClusterActivate``) gates which clusters act
+in a given phase.
+
+Invariant (checked by :meth:`Clustering.check_invariants`): after every
+primitive, every clustered node points directly at a leader —
+``follow[follow[v]] == follow[v]``.  ``ClusterMerge`` can transiently
+create pointer chains; :meth:`compress` resolves them (DESIGN.md
+substitution 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sim.network import Network
+
+#: The paper's ∞ ("not clustered").
+UNCLUSTERED = -1
+
+
+class Clustering:
+    """Mutable clustering over a :class:`~repro.sim.network.Network`.
+
+    Dead nodes are permanently unclustered; every accessor filters them.
+    """
+
+    def __init__(self, net: Network) -> None:
+        self.net = net
+        self.follow = np.full(net.n, UNCLUSTERED, dtype=np.int64)
+        self.active = np.zeros(net.n, dtype=bool)
+
+    # ------------------------------------------------------------------
+    # Masks and views
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.net.n
+
+    def clustered_mask(self) -> np.ndarray:
+        """Alive nodes that belong to some cluster."""
+        return (self.follow != UNCLUSTERED) & self.net.alive
+
+    def unclustered_mask(self) -> np.ndarray:
+        """Alive nodes with follow == ∞."""
+        return (self.follow == UNCLUSTERED) & self.net.alive
+
+    def leader_mask(self) -> np.ndarray:
+        """Alive nodes that lead their own cluster."""
+        return (self.follow == np.arange(self.n)) & self.net.alive
+
+    def follower_mask(self) -> np.ndarray:
+        """Alive clustered nodes that are not leaders."""
+        return self.clustered_mask() & ~self.leader_mask()
+
+    def leaders(self) -> np.ndarray:
+        """Indices of alive leaders."""
+        return np.flatnonzero(self.leader_mask())
+
+    def followers(self) -> np.ndarray:
+        """Indices of alive followers."""
+        return np.flatnonzero(self.follower_mask())
+
+    def unclustered(self) -> np.ndarray:
+        """Indices of alive unclustered nodes."""
+        return np.flatnonzero(self.unclustered_mask())
+
+    def clustered_count(self) -> int:
+        """Number of alive clustered nodes."""
+        return int(self.clustered_mask().sum())
+
+    def cluster_count(self) -> int:
+        """Number of clusters."""
+        return int(self.leader_mask().sum())
+
+    def sizes(self) -> np.ndarray:
+        """Cluster size per node index; ``sizes()[l]`` is the member count
+        (leader included) of the cluster led by ``l``, 0 for non-leaders."""
+        out = np.zeros(self.n, dtype=np.int64)
+        members = np.flatnonzero(self.clustered_mask())
+        if len(members):
+            counts = np.bincount(self.follow[members], minlength=self.n)
+            lead = self.leaders()
+            out[lead] = counts[lead]
+        return out
+
+    def members_of(self, leader: int) -> np.ndarray:
+        """Indices of the cluster led by ``leader`` (leader included)."""
+        return np.flatnonzero((self.follow == leader) & self.net.alive)
+
+    def active_member_mask(self) -> np.ndarray:
+        """Alive clustered nodes whose cluster is active."""
+        mask = self.clustered_mask()
+        out = np.zeros(self.n, dtype=bool)
+        idx = np.flatnonzero(mask)
+        out[idx] = self.active[self.follow[idx]]
+        return out
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def seed_singletons(self, indices: np.ndarray) -> None:
+        """Make each given (alive) node a singleton cluster leader."""
+        indices = self.net.filter_alive(np.asarray(indices, dtype=np.int64))
+        self.follow[indices] = indices
+
+    def disband(self, leader_indices: np.ndarray) -> None:
+        """Dissolve the clusters led by the given leaders."""
+        leader_indices = np.asarray(leader_indices, dtype=np.int64)
+        if len(leader_indices) == 0:
+            return
+        mask = np.isin(self.follow, leader_indices)
+        self.follow[mask] = UNCLUSTERED
+        self.active[leader_indices] = False
+
+    def compress(self, max_hops: int = 64) -> None:
+        """Resolve follow-pointer chains so members point at true leaders.
+
+        Merge rules in the paper are acyclic (smaller-uid targets, or
+        inactive→active), so chains resolve in a few hops; a cycle would be
+        an algorithm bug and raises after ``max_hops``.
+        """
+        clustered = np.flatnonzero((self.follow != UNCLUSTERED) & self.net.alive)
+        for _ in range(max_hops):
+            parents = self.follow[clustered]
+            grand = self.follow[parents]
+            stale = grand != parents
+            if not stale.any():
+                return
+            # A parent that became unclustered strands its members; that
+            # would be an algorithm bug (dissolve handles members itself).
+            if (grand[stale] == UNCLUSTERED).any():
+                raise RuntimeError("follow chain leads to an unclustered node")
+            self.follow[clustered[stale]] = grand[stale]
+        raise RuntimeError(f"follow chains not resolved in {max_hops} hops (cycle?)")
+
+    # ------------------------------------------------------------------
+    # Validation / introspection
+    # ------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if the clustering is inconsistent."""
+        alive = self.net.alive
+        clustered = (self.follow != UNCLUSTERED) & alive
+        idx = np.flatnonzero(clustered)
+        if len(idx):
+            parents = self.follow[idx]
+            assert (parents >= 0).all() and (parents < self.n).all(), "follow out of range"
+            assert (
+                self.follow[parents] == parents
+            ).all(), "a clustered node follows a non-leader"
+            assert alive[parents].all(), "a clustered node follows a dead node"
+        dead = np.flatnonzero(~alive)
+        # Dead nodes may retain stale follow values; they are filtered by
+        # every accessor, so only check they are never counted as leaders.
+        assert not ((self.follow[dead] == dead) & alive[dead]).any()
+
+    def single_cluster(self) -> Optional[int]:
+        """The unique leader if exactly one cluster exists, else None."""
+        lead = self.leaders()
+        return int(lead[0]) if len(lead) == 1 else None
+
+    def summary(self) -> str:
+        """One-line state summary for traces."""
+        sizes = self.sizes()
+        lead = self.leaders()
+        if len(lead) == 0:
+            return "no clusters"
+        s = sizes[lead]
+        return (
+            f"{len(lead)} clusters, sizes [{int(s.min())}..{int(s.max())}], "
+            f"{self.clustered_count()}/{self.net.alive_count} alive nodes clustered"
+        )

@@ -1,0 +1,147 @@
+"""Guess-test-and-double estimation of the network size (paper, §2).
+
+The model lets nodes know ``n`` "without loss of generality, since for
+all problems considered in this paper it is easy to test with high
+probability whether the algorithm succeeded.  This allows for determining
+the parameter n using the classical guess-test-and-double strategy
+without increasing the running times by more than a constant factor."
+
+This module makes that remark concrete:
+
+* :func:`sample_test` — the w.h.p. success test: with a guess ``m``, a
+  node checks a random sample of contacts; if the true ``n`` is much
+  larger than ``m``, a ``1/(C log m)``-rate seeding would have clustered
+  far fewer than the expected fraction of the sample, and the test fails.
+  We implement the cleaner, standard collision estimator: sample ``k``
+  uniformly random nodes *with replacement* and count birthday collisions
+  — the collision rate estimates ``k^2 / 2n``.
+* :func:`guess_test_and_double` — squares the guess (doubling in the
+  exponent) until the collision test accepts, giving an estimate within a
+  constant factor of ``n`` in ``O(log log n)`` *phases*; each phase costs
+  one round of ``k`` PULL contacts per participating node.
+
+The estimate is what a deployment would feed into the LAPTOP profile's
+thresholds; tests confirm Cluster2 still completes when parameterised by
+the estimate instead of the true ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class EstimateReport:
+    """Outcome of a guess-test-and-double run."""
+
+    estimate: int
+    true_n: int
+    phases: int
+    rounds: int
+    guesses: List[int]
+
+    @property
+    def ratio(self) -> float:
+        """estimate / n — the constant-factor accuracy."""
+        return self.estimate / self.true_n
+
+
+def sample_test(
+    sim: Simulator, guess: int, *, samples_per_node: int = 1, testers: int = 64
+) -> bool:
+    """Does the network look *no larger than* ``guess``?
+
+    ``testers`` nodes each contact ``samples_per_node`` random nodes per
+    round (one round per sample, honouring the one-initiation rule) and
+    pool the observed node identities; the number of *distinct* nodes
+    seen among ``k`` uniform draws estimates ``n`` via the birthday bound
+    (expected distinct = ``n(1 - (1-1/n)^k)``).  Accepts iff the implied
+    ``n`` is at most ``2 * guess``.
+
+    The pooled sample needs ``k = Ω(sqrt(guess))`` draws for collisions
+    to be informative — the cost that makes the doubling schedule
+    geometric and total O(sqrt(n)) contacts, all charged to the metrics.
+    """
+    n = sim.net.n
+    k = max(32, int(8 * math.sqrt(guess)))
+    testers = min(testers, n)
+    rounds_needed = max(1, math.ceil(k / testers))
+    tester_idx = sim.net.alive_indices()[:testers]
+    seen: List[int] = []
+    drawn = 0
+    for _ in range(rounds_needed):
+        if drawn >= k:
+            break
+        dsts = sim.random_targets(tester_idx)
+        with sim.round("EstimateN:sample") as r:
+            answered = r.pull(tester_idx, dsts, sim.net.sizes.id_bits).answered
+        seen.extend(int(d) for d in dsts[answered])
+        drawn += len(tester_idx)
+    if not seen:
+        return False
+    draws = len(seen)
+    distinct = len(set(seen))
+    collisions = draws - distinct
+    # Expected collisions among `draws` uniform draws from n' nodes is
+    # ~ draws^2 / (2 n').  Solve for n'; no collisions -> n' looks large.
+    if collisions == 0:
+        implied = float("inf")
+    else:
+        implied = draws * (draws - 1) / (2.0 * collisions)
+    return implied <= 2.0 * guess
+
+
+def guess_test_and_double(
+    sim: Simulator, *, start_guess: int = 4, max_phases: int = 40
+) -> EstimateReport:
+    """Estimate ``n`` within a constant factor in ``O(log log n)`` phases.
+
+    Two stages, both doubling in the *exponent* so the phase count stays
+    doubly logarithmic:
+
+    1. square the guess (``4, 16, 256, 65536, ...``) until the collision
+       test accepts — brackets ``log2 n`` between the last rejected and
+       first accepted exponent;
+    2. binary-search the integer exponent inside that bracket — another
+       ``O(log log n)`` tests — landing within a factor 2 of ``n`` (up to
+       the test's constant).
+    """
+    guess = max(2, start_guess)
+    guesses = [guess]
+    phases = 0
+    lo_exp = 1  # largest rejected exponent so far
+    hi_exp = None
+    for _ in range(max_phases):
+        phases += 1
+        if sample_test(sim, guess):
+            hi_exp = max(1, round(math.log2(guess)))
+            break
+        lo_exp = max(lo_exp, round(math.log2(guess)))
+        guess = guess * guess  # double the exponent
+        guesses.append(guess)
+    if hi_exp is None:
+        raise RuntimeError(
+            f"guess-test-and-double did not converge in {max_phases} phases"
+        )
+    # Stage 2: binary search the exponent in (lo_exp, hi_exp].
+    while hi_exp - lo_exp > 1 and phases < max_phases:
+        phases += 1
+        mid = (lo_exp + hi_exp) // 2
+        guesses.append(2**mid)
+        if sample_test(sim, 2**mid):
+            hi_exp = mid
+        else:
+            lo_exp = mid
+    return EstimateReport(
+        estimate=2**hi_exp,
+        true_n=sim.net.n,
+        phases=phases,
+        rounds=sim.metrics.rounds,
+        guesses=guesses,
+    )

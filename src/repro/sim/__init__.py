@@ -1,0 +1,50 @@
+"""Synchronous random-phone-call simulator substrate.
+
+This subpackage implements the communication model of Haeupler & Malkhi
+(PODC 2014), Section 2:
+
+* a complete network of ``n`` nodes, each with a unique ID drawn from a
+  polynomially large ID space (:mod:`repro.sim.ids`,
+  :mod:`repro.sim.network`);
+* synchronous rounds in which every node may *initiate* at most one
+  contact — a ``PUSH`` or a ``PULL`` — with either a uniformly random node
+  or a directly addressed node (:mod:`repro.sim.engine`);
+* exact accounting of the three complexity measures the paper optimizes:
+  round-, message-, and bit-complexity, plus the per-round fan-in ``Delta``
+  studied in Section 7 (:mod:`repro.sim.metrics`);
+* oblivious node failures for the fault-tolerance experiments of Section 8
+  (:mod:`repro.sim.failures`).
+
+All hot paths are vectorised over numpy arrays of node indices so that the
+simulator comfortably handles ``n`` up to a few hundred thousand nodes.
+"""
+
+from repro.sim.delivery import (
+    receive_any,
+    receive_counts,
+    receive_min_by_key,
+    receive_or,
+)
+from repro.sim.engine import ModelViolation, Round, Simulator
+from repro.sim.ids import IdSpace
+from repro.sim.messages import MessageSizes
+from repro.sim.metrics import Metrics, PhaseStats
+from repro.sim.network import Network
+from repro.sim.rng import make_rng, spawn_rngs
+
+__all__ = [
+    "IdSpace",
+    "MessageSizes",
+    "Metrics",
+    "ModelViolation",
+    "Network",
+    "PhaseStats",
+    "Round",
+    "Simulator",
+    "make_rng",
+    "receive_any",
+    "receive_counts",
+    "receive_min_by_key",
+    "receive_or",
+    "spawn_rngs",
+]

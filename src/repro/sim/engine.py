@@ -1,0 +1,301 @@
+"""The synchronous round engine.
+
+One :class:`Round` = one synchronous round of the random phone call model.
+Algorithms build a round by declaring bulk PUSH and PULL operations (numpy
+arrays of initiator and target indices), then commit it.  On commit the
+engine
+
+* validates the model: each *alive* node initiates at most one contact per
+  round (``ModelViolation`` otherwise, when ``check_model`` is on), dead
+  nodes neither initiate nor receive nor respond;
+* computes deliveries (which pushes arrived where, which pulls got a
+  response) and hands them back to the caller;
+* charges :class:`~repro.sim.metrics.Metrics`: pushes and pull *responses*
+  are messages with their payload bits; fan-in per node is pushes received
+  plus pull requests received.
+
+Direct addressing is the caller's business: the engine takes explicit
+target indices and does not second-guess how the caller learned them.  The
+knowledge-tracking needed for the Section 6 lower bound lives separately in
+:mod:`repro.core.lower_bound`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network
+
+
+class ModelViolation(RuntimeError):
+    """An operation broke a random-phone-call model rule."""
+
+
+@dataclass
+class _PushOp:
+    srcs: np.ndarray
+    dsts: np.ndarray
+    bits_per_msg: np.ndarray  # parallel to srcs
+    counts_initiation: bool = True
+
+
+@dataclass
+class _PullOp:
+    srcs: np.ndarray
+    dsts: np.ndarray
+    bits_per_response: np.ndarray  # parallel to srcs
+    responds: np.ndarray  # bool per pull: responder has content to answer
+    counts_initiation: bool = True
+
+
+def _as_bits_array(bits, count: int) -> np.ndarray:
+    """Broadcast a scalar or per-message array of bit sizes to ``count``."""
+    arr = np.asarray(bits, dtype=np.int64)
+    if arr.ndim == 0:
+        return np.full(count, int(arr), dtype=np.int64)
+    if arr.shape != (count,):
+        raise ValueError(f"bits array has shape {arr.shape}, expected ({count},)")
+    return arr
+
+
+@dataclass
+class PushDelivery:
+    """Deliveries of one push op: parallel arrays of arrived messages."""
+
+    srcs: np.ndarray
+    dsts: np.ndarray
+
+
+@dataclass
+class PullDelivery:
+    """Outcome of one pull op: mask (per original pull) of answered pulls."""
+
+    answered: np.ndarray
+
+
+class Round:
+    """Builder for one synchronous round.  Use via ``Simulator.round()``."""
+
+    def __init__(self, sim: "Simulator", label: Optional[str] = None) -> None:
+        self._sim = sim
+        self.label = label
+        self._pushes: List[_PushOp] = []
+        self._pulls: List[_PullOp] = []
+        self._committed = False
+
+    # ------------------------------------------------------------------
+    # Declaring operations
+    # ------------------------------------------------------------------
+
+    def push(
+        self,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        bits_per_msg,
+        *,
+        counts_initiation: bool = True,
+    ) -> PushDelivery:
+        """``srcs[i]`` pushes a ``bits_per_msg``-bit message to ``dsts[i]``.
+
+        ``bits_per_msg`` may be a scalar or an array parallel to ``srcs``
+        (messages of different sizes, e.g. ClusterResize responses).
+        ``counts_initiation=False`` marks messages that ride a channel the
+        source already opened this round (the response half of a
+        bidirectional phone call); they are charged as messages but not as
+        a second initiation.
+
+        Returns the sub-arrays that are actually *delivered*: pushes by dead
+        sources are dropped entirely (a dead node does nothing); pushes to
+        dead targets are sent (and charged) but not delivered.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if srcs.shape != dsts.shape:
+            raise ValueError("srcs and dsts must be parallel arrays")
+        bits = _as_bits_array(bits_per_msg, len(srcs))
+        alive_src = self._sim.net.alive[srcs]
+        srcs, dsts, bits = srcs[alive_src], dsts[alive_src], bits[alive_src]
+        self._pushes.append(_PushOp(srcs, dsts, bits, counts_initiation))
+        delivered = self._sim.net.alive[dsts]
+        return PushDelivery(srcs[delivered], dsts[delivered])
+
+    def pull(
+        self,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        bits_per_response,
+        responds: Optional[np.ndarray] = None,
+        *,
+        counts_initiation: bool = True,
+    ) -> PullDelivery:
+        """``srcs[i]`` pulls from ``dsts[i]``.
+
+        ``bits_per_response`` may be a scalar or an array parallel to
+        ``srcs``.  ``responds`` (parallel bool array, default all-True) says
+        whether each responder has content this round — the responder's
+        answer is address-oblivious, so the caller computes it per
+        *responder* and passes the per-pull mask here.  Pulls by dead
+        sources are dropped; pulls to dead or non-responding targets get no
+        answer (but the request still counts toward the target's fan-in if
+        it is alive).
+
+        Note: the returned ``answered`` mask is parallel to the *filtered*
+        (alive-source) pulls; callers that pre-filter their sources to alive
+        nodes — all shipped algorithms do — can zip it with their inputs.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        if srcs.shape != dsts.shape:
+            raise ValueError("srcs and dsts must be parallel arrays")
+        bits = _as_bits_array(bits_per_response, len(srcs))
+        if responds is None:
+            responds = np.ones(len(srcs), dtype=bool)
+        responds = np.asarray(responds, dtype=bool)
+        if responds.shape != srcs.shape:
+            raise ValueError("responds must be parallel to srcs")
+        alive_src = self._sim.net.alive[srcs]
+        srcs, dsts, responds, bits = (
+            srcs[alive_src],
+            dsts[alive_src],
+            responds[alive_src],
+            bits[alive_src],
+        )
+        answered = responds & self._sim.net.alive[dsts]
+        self._pulls.append(_PullOp(srcs, dsts, bits, answered, counts_initiation))
+        return PullDelivery(answered)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Validate the round and charge metrics.  Called automatically
+        when the round is used as a context manager."""
+        if self._committed:
+            raise RuntimeError("round committed twice")
+        self._committed = True
+        sim = self._sim
+        n = sim.net.n
+
+        initiators = [op.srcs for op in self._pushes if op.counts_initiation] + [
+            op.srcs for op in self._pulls if op.counts_initiation
+        ]
+        all_init = (
+            np.concatenate(initiators) if initiators else np.empty(0, dtype=np.int64)
+        )
+        init_counts = np.bincount(all_init, minlength=n) if len(all_init) else np.zeros(n, dtype=np.int64)
+        if sim.check_model and len(all_init):
+            worst = int(init_counts.max())
+            if worst > 1:
+                offender = int(np.argmax(init_counts))
+                raise ModelViolation(
+                    f"node {offender} initiated {worst} contacts in round "
+                    f"{sim.metrics.rounds + 1} ({self.label or 'unlabelled'}); "
+                    "the model allows one initiation per node per round"
+                )
+
+        # Fan-in: pushes received + pull requests received, at alive nodes.
+        fanin = np.zeros(n, dtype=np.int64)
+        pushes = push_bits = 0
+        for op in self._pushes:
+            arrived = op.dsts[sim.net.alive[op.dsts]]
+            if len(arrived):
+                fanin += np.bincount(arrived, minlength=n)
+            pushes += len(op.srcs)
+            push_bits += int(op.bits_per_msg.sum())
+        pull_requests = pull_responses = pull_bits = 0
+        for op in self._pulls:
+            arrived = op.dsts[sim.net.alive[op.dsts]]
+            if len(arrived):
+                fanin += np.bincount(arrived, minlength=n)
+            pull_requests += len(op.srcs)
+            answered = int(op.responds.sum())
+            pull_responses += answered
+            pull_bits += int(op.bits_per_response[op.responds].sum())
+
+        sim.metrics.record_round(
+            pushes=pushes,
+            push_bits=push_bits,
+            pull_requests=pull_requests,
+            pull_responses=pull_responses,
+            pull_bits=pull_bits,
+            max_fanin=int(fanin.max()) if n else 0,
+            max_initiations=int(init_counts.max()) if len(all_init) else 0,
+        )
+
+    def __enter__(self) -> "Round":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.commit()
+
+
+class Simulator:
+    """Ties a :class:`Network`, a :class:`Metrics` and an RNG together.
+
+    Parameters
+    ----------
+    net:
+        The network (holds liveness and uids).
+    rng:
+        Generator for all of the algorithm's random choices.
+    metrics:
+        Accounting sink; a fresh one is created when omitted.
+    check_model:
+        When True (default), committing a round with a node initiating two
+        contacts raises :class:`ModelViolation`.  Benchmarks may switch it
+        off for speed once the test suite has pinned correctness.
+    """
+
+    def __init__(
+        self,
+        net: Network,
+        rng: np.random.Generator,
+        metrics: Optional[Metrics] = None,
+        check_model: bool = True,
+    ) -> None:
+        self.net = net
+        self.rng = rng
+        self.metrics = metrics if metrics is not None else Metrics(net.n)
+        self.check_model = check_model
+
+    def round(self, label: Optional[str] = None) -> Round:
+        """Open a new synchronous round."""
+        return Round(self, label)
+
+    # Convenience single-op rounds -------------------------------------
+
+    def push_round(
+        self, srcs: np.ndarray, dsts: np.ndarray, bits_per_msg: int, label: str = ""
+    ) -> PushDelivery:
+        """A round consisting of a single bulk push."""
+        with self.round(label) as r:
+            out = r.push(srcs, dsts, bits_per_msg)
+        return out
+
+    def pull_round(
+        self,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        bits_per_response: int,
+        responds: Optional[np.ndarray] = None,
+        label: str = "",
+    ) -> PullDelivery:
+        """A round consisting of a single bulk pull."""
+        with self.round(label) as r:
+            out = r.pull(srcs, dsts, bits_per_response, responds)
+        return out
+
+    def random_targets(self, srcs: np.ndarray) -> np.ndarray:
+        """One uniformly random contact target per source."""
+        return self.net.random_targets(len(srcs), self.rng)
+
+    def idle_round(self, label: str = "idle") -> None:
+        """A round in which nobody communicates (still counts)."""
+        with self.round(label):
+            pass

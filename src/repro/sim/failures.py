@@ -1,0 +1,77 @@
+"""Oblivious-adversary failure patterns (paper, Section 8).
+
+The adversary fails ``F`` nodes *before* the execution starts and is
+oblivious to the algorithm's randomness.  Because the paper's algorithms
+are symmetric in the nodes, any oblivious choice is equivalent to a random
+one (Theorem 19's proof); we still provide several patterns so tests can
+confirm that equivalence empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.network import Network
+from repro.sim.rng import SeedLike, make_rng
+
+
+def fail_random(net: Network, count: int, rng: SeedLike = None) -> np.ndarray:
+    """Fail ``count`` uniformly random nodes; returns their indices."""
+    _check_count(net, count)
+    idx = make_rng(rng).choice(net.n, size=count, replace=False)
+    net.fail(idx)
+    return np.sort(idx)
+
+def fail_prefix(net: Network, count: int) -> np.ndarray:
+    """Fail nodes ``0..count-1`` (a fixed, index-based oblivious choice)."""
+    _check_count(net, count)
+    idx = np.arange(count)
+    net.fail(idx)
+    return idx
+
+
+def fail_smallest_uids(net: Network, count: int) -> np.ndarray:
+    """Fail the ``count`` nodes with the smallest uids.
+
+    An adversary targeting small IDs is a natural worst-case probe for the
+    "merge towards the smallest ID" rules — still oblivious because uids
+    are assigned independently of the algorithm's coin flips.
+    """
+    _check_count(net, count)
+    idx = np.argsort(net.uid)[:count]
+    net.fail(idx)
+    return np.sort(idx)
+
+
+def fail_fraction(net: Network, fraction: float, rng: SeedLike = None) -> np.ndarray:
+    """Fail a ``fraction`` of all nodes uniformly at random."""
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    return fail_random(net, int(round(fraction * net.n)), rng)
+
+
+PATTERNS = {
+    "random": fail_random,
+    "prefix": lambda net, count, rng=None: fail_prefix(net, count),
+    "smallest-uids": lambda net, count, rng=None: fail_smallest_uids(net, count),
+}
+
+
+def apply_pattern(net: Network, pattern: str, count: int, rng: SeedLike = None) -> np.ndarray:
+    """Apply a named failure pattern; returns failed indices."""
+    try:
+        fn = PATTERNS[pattern]
+    except KeyError:
+        raise ValueError(
+            f"unknown failure pattern {pattern!r}; choose from {sorted(PATTERNS)}"
+        ) from None
+    return fn(net, count, rng)
+
+
+def _check_count(net: Network, count: int) -> None:
+    if count < 0:
+        raise ValueError(f"failure count must be non-negative, got {count}")
+    if count >= net.n:
+        raise ValueError(
+            f"cannot fail {count} of {net.n} nodes; at least one must survive"
+        )

@@ -1,0 +1,86 @@
+"""Node identifiers drawn from a polynomially large ID space.
+
+The model (paper, Section 2) gives every node a unique address of
+``O(log n)`` bits, i.e. the ID space has size ``n^c`` for some constant
+``c``.  Nodes initially know only their own ID; learning another node's ID
+is what enables direct addressing.
+
+Internally the simulator works with dense node *indices* ``0 .. n-1`` (for
+vectorisation) and keeps a parallel ``uid`` table holding each node's
+address.  All tie-breaking rules from the paper ("smallest ID", "largest
+ID") compare *uids*, never indices, so the arbitrary assignment of indices
+cannot leak information the algorithms should not have.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Default exponent ``c`` of the polynomial ID space ``|space| = n^c``.
+DEFAULT_SPACE_EXPONENT = 3
+
+
+@dataclass(frozen=True)
+class IdSpace:
+    """A polynomially large address space for ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    exponent:
+        The ID space has ``max(n, 2)**exponent`` addresses, so IDs are
+        ``exponent * log2 n`` bits — the ``O(log n)``-bit addresses of the
+        model.
+    """
+
+    n: int
+    exponent: int = DEFAULT_SPACE_EXPONENT
+    size: int = field(init=False)
+    bits: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need at least one node, got n={self.n}")
+        if self.exponent < 1:
+            raise ValueError(f"exponent must be >= 1, got {self.exponent}")
+        size = max(self.n, 2) ** self.exponent
+        object.__setattr__(self, "size", size)
+        object.__setattr__(self, "bits", max(1, math.ceil(math.log2(size))))
+
+    def assign(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` distinct uids uniformly from the space.
+
+        Returns an ``int64`` array of length ``n``.  Uses rejection-free
+        sampling: draw with a safety margin and deduplicate, retrying the
+        (very unlikely) shortfall.
+        """
+        space = self.size
+        if space <= 4 * self.n:
+            # Tiny spaces (only reachable with exponent=1 and small n):
+            # a random permutation of the full space, truncated.
+            return rng.permutation(space)[: self.n].astype(np.int64)
+        chosen: set[int] = set()
+        out = np.empty(self.n, dtype=np.int64)
+        filled = 0
+        while filled < self.n:
+            need = self.n - filled
+            draw = rng.integers(0, space, size=2 * need + 16, dtype=np.int64)
+            for value in draw:
+                v = int(value)
+                if v in chosen:
+                    continue
+                chosen.add(v)
+                out[filled] = v
+                filled += 1
+                if filled == self.n:
+                    break
+        return out
+
+
+def id_bits(n: int, exponent: int = DEFAULT_SPACE_EXPONENT) -> int:
+    """Bit-width of one node ID for an ``n``-node network."""
+    return IdSpace(n, exponent).bits

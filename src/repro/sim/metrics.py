@@ -1,0 +1,192 @@
+"""Round-, message-, bit-complexity and fan-in accounting.
+
+These are exactly the figures of merit from Section 2 of the paper:
+
+* **round-complexity** — number of synchronous rounds;
+* **message-complexity** — messages sent per node *on average*;
+* **bit-complexity** — total bits over all messages;
+* **fan-in** ``Delta`` — the maximum number of communications any single
+  node participates in within one round (Section 7).
+
+Accounting conventions
+----------------------
+A ``PUSH`` costs one message of its payload size.  A ``PULL`` costs one
+*response* message (of the response payload size) whenever the responder has
+something to answer; the request itself is free, matching how Karp et
+al. [10] and this paper count *transmissions* of content.  Requests are
+still tallied separately (``pull_requests``) and contribute to fan-in.
+
+Metrics are grouped into named *phases* (e.g. ``grow``, ``square``,
+``pull``) via :meth:`Metrics.phase`, so tests and benchmarks can check the
+paper's per-phase budgets (Lemmas 11-13).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+@dataclass
+class PhaseStats:
+    """Counters for one named phase of an execution."""
+
+    rounds: int = 0
+    messages: int = 0
+    bits: int = 0
+    pushes: int = 0
+    pull_responses: int = 0
+    pull_requests: int = 0
+    max_fanin: int = 0
+    max_initiations: int = 0
+
+    def merge(self, other: "PhaseStats") -> None:
+        """Accumulate ``other`` into ``self`` (totals and maxima)."""
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.bits += other.bits
+        self.pushes += other.pushes
+        self.pull_responses += other.pull_responses
+        self.pull_requests += other.pull_requests
+        self.max_fanin = max(self.max_fanin, other.max_fanin)
+        self.max_initiations = max(self.max_initiations, other.max_initiations)
+
+
+@dataclass
+class Metrics:
+    """Global accounting for one simulated execution.
+
+    Attributes
+    ----------
+    n:
+        Network size, used to normalise per-node figures.
+    total:
+        Aggregate counters over the whole execution.
+    phases:
+        Ordered per-phase counters.  Rounds executed outside any
+        :meth:`phase` block land in the ``"(unphased)"`` bucket.
+    """
+
+    n: int
+    total: PhaseStats = field(default_factory=PhaseStats)
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    _phase_stack: List[str] = field(default_factory=list)
+
+    UNPHASED = "(unphased)"
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[PhaseStats]:
+        """Attribute all rounds inside the block to phase ``name``.
+
+        Phases may repeat (stats accumulate) but not nest: nesting would
+        make the per-phase round counts ambiguous.
+        """
+        if self._phase_stack:
+            raise RuntimeError(
+                f"phase {name!r} opened inside phase {self._phase_stack[-1]!r}; "
+                "phases must not nest"
+            )
+        stats = self.phases.setdefault(name, PhaseStats())
+        self._phase_stack.append(name)
+        try:
+            yield stats
+        finally:
+            self._phase_stack.pop()
+
+    def current_phase(self) -> PhaseStats:
+        """The phase bucket that the next round should be charged to."""
+        if self._phase_stack:
+            return self.phases[self._phase_stack[-1]]
+        return self.phases.setdefault(self.UNPHASED, PhaseStats())
+
+    # ------------------------------------------------------------------
+    # Recording (called by the engine)
+    # ------------------------------------------------------------------
+
+    def record_round(
+        self,
+        *,
+        pushes: int,
+        push_bits: int,
+        pull_requests: int,
+        pull_responses: int,
+        pull_bits: int,
+        max_fanin: int,
+        max_initiations: int,
+    ) -> None:
+        """Record one committed synchronous round."""
+        for bucket in (self.total, self.current_phase()):
+            bucket.rounds += 1
+            bucket.pushes += pushes
+            bucket.pull_requests += pull_requests
+            bucket.pull_responses += pull_responses
+            bucket.messages += pushes + pull_responses
+            bucket.bits += push_bits + pull_bits
+            bucket.max_fanin = max(bucket.max_fanin, max_fanin)
+            bucket.max_initiations = max(bucket.max_initiations, max_initiations)
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+
+    @property
+    def rounds(self) -> int:
+        """Total round-complexity."""
+        return self.total.rounds
+
+    @property
+    def messages(self) -> int:
+        """Total number of (content-carrying) messages."""
+        return self.total.messages
+
+    @property
+    def bits(self) -> int:
+        """Total bit-complexity."""
+        return self.total.bits
+
+    @property
+    def max_fanin(self) -> int:
+        """Largest per-round fan-in Delta observed at any node."""
+        return self.total.max_fanin
+
+    def messages_per_node(self) -> float:
+        """Average messages per node — the paper's message-complexity."""
+        return self.messages / self.n
+
+    def bits_per_node(self) -> float:
+        """Average bits per node."""
+        return self.bits / self.n
+
+    def phase_report(self) -> str:
+        """Human-readable per-phase table (used by examples and the CLI)."""
+        header = (
+            f"{'phase':<22}{'rounds':>7}{'msgs':>10}{'msgs/node':>11}"
+            f"{'bits':>13}{'maxΔ':>7}"
+        )
+        lines = [header, "-" * len(header)]
+        for name, st in self.phases.items():
+            lines.append(
+                f"{name:<22}{st.rounds:>7}{st.messages:>10}"
+                f"{st.messages / self.n:>11.3f}{st.bits:>13}{st.max_fanin:>7}"
+            )
+        st = self.total
+        lines.append("-" * len(header))
+        lines.append(
+            f"{'TOTAL':<22}{st.rounds:>7}{st.messages:>10}"
+            f"{st.messages / self.n:>11.3f}{st.bits:>13}{st.max_fanin:>7}"
+        )
+        return "\n".join(lines)
+
+
+def merge_metrics(metrics: Metrics, other: Metrics, prefix: Optional[str] = None) -> None:
+    """Fold the counters of ``other`` into ``metrics``.
+
+    Used when an algorithm composes sub-algorithms that were run with their
+    own Metrics (e.g. Cluster3 followed by ClusterPUSH-PULL).  ``prefix``
+    namespaces the imported phase names.
+    """
+    metrics.total.merge(other.total)
+    for name, stats in other.phases.items():
+        key = f"{prefix}:{name}" if prefix else name
+        metrics.phases.setdefault(key, PhaseStats()).merge(stats)

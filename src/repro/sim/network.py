@@ -1,0 +1,115 @@
+"""The complete network of the random phone call model.
+
+Holds the node table: dense indices ``0..n-1``, the random unique ``uid`` of
+each node (its O(log n)-bit address), and liveness for the fault-tolerance
+setting of Section 8 (an oblivious adversary fails nodes *before* the
+execution starts; failed nodes neither initiate nor respond).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.sim.ids import IdSpace
+from repro.sim.messages import MessageSizes
+from repro.sim.rng import SeedLike, make_rng
+
+
+class Network:
+    """A complete ``n``-node network with random unique addresses.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    rng:
+        Seed or generator used (only) for assigning uids.
+    rumor_bits:
+        Broadcast payload size ``b``; stored here because the message-size
+        model is a property of the network instance.
+    id_space_exponent:
+        Exponent of the polynomial ID space.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rng: SeedLike = 0,
+        *,
+        rumor_bits: int = 256,
+        id_space_exponent: int = 3,
+    ) -> None:
+        if n < 2:
+            raise ValueError(f"a network needs at least 2 nodes, got n={n}")
+        self.n = int(n)
+        self.id_space = IdSpace(self.n, id_space_exponent)
+        self.uid = self.id_space.assign(make_rng(rng))
+        self.alive = np.ones(self.n, dtype=bool)
+        self.sizes = MessageSizes(
+            self.n, rumor_bits=rumor_bits, id_space_exponent=id_space_exponent
+        )
+
+    # ------------------------------------------------------------------
+    # Liveness / failures
+    # ------------------------------------------------------------------
+
+    def fail(self, indices: Iterable[int]) -> None:
+        """Fail the given nodes (oblivious adversary, Section 8).
+
+        Must be called before the algorithm starts to keep the adversary
+        oblivious; the engine does not enforce this (tests do).
+        """
+        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.n:
+            raise IndexError("failure index out of range")
+        self.alive[idx] = False
+
+    @property
+    def alive_count(self) -> int:
+        """Number of surviving nodes."""
+        return int(self.alive.sum())
+
+    def alive_indices(self) -> np.ndarray:
+        """Indices of surviving nodes."""
+        return np.flatnonzero(self.alive)
+
+    def filter_alive(self, indices: np.ndarray) -> np.ndarray:
+        """Subset of ``indices`` that are alive."""
+        indices = np.asarray(indices)
+        return indices[self.alive[indices]]
+
+    # ------------------------------------------------------------------
+    # Addressing helpers
+    # ------------------------------------------------------------------
+
+    def uid_of(self, index: int) -> int:
+        """The O(log n)-bit address of node ``index``."""
+        return int(self.uid[index])
+
+    def index_by_uid(self) -> dict:
+        """uid -> index map (built on demand; not used on hot paths)."""
+        return {int(u): i for i, u in enumerate(self.uid)}
+
+    def min_uid_index(self, indices: Optional[np.ndarray] = None) -> int:
+        """Index of the node with the smallest uid among ``indices``.
+
+        The paper's merge rules pick "the cluster with the smallest ID";
+        cluster ID is the leader's uid (Section 3.1).
+        """
+        if indices is None:
+            indices = np.arange(self.n)
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            raise ValueError("min_uid_index of empty index set")
+        return int(indices[np.argmin(self.uid[indices])])
+
+    def random_targets(
+        self, count: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Uniformly random contact targets (may be dead — contacts to
+        failed nodes are simply lost, as in the model)."""
+        return rng.integers(0, self.n, size=count, dtype=np.int64)

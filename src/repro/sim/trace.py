@@ -1,0 +1,72 @@
+"""Structured execution tracing.
+
+Optional, zero-cost when disabled.  Algorithms emit coarse-grained events
+(phase transitions, cluster counts, informed fractions) that the examples
+print and the tests introspect.  This is intentionally *not* a per-message
+log — per-message data at n = 2^18 would be gigabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record."""
+
+    round: int
+    kind: str
+    data: Dict[str, Any]
+
+    def __str__(self) -> str:
+        payload = ", ".join(f"{k}={v}" for k, v in self.data.items())
+        return f"[r{self.round:>4}] {self.kind}: {payload}"
+
+
+@dataclass
+class Trace:
+    """An append-only event log.
+
+    Use :func:`null_trace` (the default everywhere) to disable tracing; its
+    ``enabled`` flag lets hot loops skip event construction entirely.
+    """
+
+    enabled: bool = True
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def emit(self, round_no: int, kind: str, **data: Any) -> None:
+        """Record one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(round_no, kind, data))
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        """All events with the given kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def last(self, kind: str) -> Optional[TraceEvent]:
+        """Most recent event of a kind, or None."""
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def render(self) -> str:
+        """Multi-line human-readable dump."""
+        return "\n".join(str(e) for e in self.events)
+
+
+_NULL = Trace(enabled=False)
+
+
+def null_trace() -> Trace:
+    """The shared disabled trace instance."""
+    return _NULL

@@ -1,0 +1,5 @@
+"""Named workload scenarios exercising the public API."""
+
+from repro.workloads.scenarios import SCENARIOS, Scenario, get_scenario, run_scenario
+
+__all__ = ["SCENARIOS", "Scenario", "get_scenario", "run_scenario"]

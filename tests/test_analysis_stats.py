@@ -1,0 +1,72 @@
+"""Tests for repro.analysis.stats."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import (
+    Summary,
+    mean_ci,
+    success_rate,
+    summarize,
+    wilson_interval,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert math.isclose(s.std, 1.0)
+
+    def test_single_value(self):
+        s = summarize([5])
+        assert s.std == 0.0
+        assert s.ci95_halfwidth() == 0.0
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+
+    def test_ci_shrinks_with_count(self):
+        narrow = summarize([1.0, 2.0] * 50)
+        wide = summarize([1.0, 2.0])
+        assert narrow.ci95_halfwidth() < wide.ci95_halfwidth()
+
+    def test_str(self):
+        assert "±" in str(summarize([1, 2, 3]))
+
+
+class TestMeanCi:
+    def test_matches_summary(self):
+        mean, hw = mean_ci([2.0, 4.0, 6.0])
+        s = summarize([2.0, 4.0, 6.0])
+        assert mean == s.mean and hw == s.ci95_halfwidth()
+
+
+class TestSuccessRate:
+    def test_rates(self):
+        assert success_rate([True, True, False, False]) == 0.5
+        assert success_rate([True]) == 1.0
+        assert math.isnan(success_rate([]))
+
+
+class TestWilson:
+    def test_contains_point_estimate(self):
+        lo, hi = wilson_interval(8, 10)
+        assert lo <= 0.8 <= hi
+
+    def test_bounds_clamped(self):
+        lo, hi = wilson_interval(10, 10)
+        assert hi <= 1.0
+        lo, hi = wilson_interval(0, 10)
+        assert lo >= 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)

@@ -1,0 +1,95 @@
+"""Tests for the top-level broadcast() API and algorithm registry."""
+
+import pytest
+
+from repro import LAPTOP, algorithm_names, broadcast
+
+
+class TestRegistry:
+    def test_all_algorithms_listed(self):
+        names = algorithm_names()
+        for expected in (
+            "cluster1",
+            "cluster2",
+            "cluster3",
+            "push",
+            "pull",
+            "push-pull",
+            "median-counter",
+            "avin-elsasser",
+        ):
+            assert expected in names
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            broadcast(256, "quantum-gossip")
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            broadcast(256, "push", profile="huge")
+
+    def test_source_validated(self):
+        with pytest.raises(ValueError, match="source"):
+            broadcast(256, "push", source=256)
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("algorithm", ["push", "cluster1", "cluster2"])
+    def test_runs_and_informs(self, algorithm):
+        report = broadcast(1024, algorithm, seed=0)
+        assert report.success
+        assert report.n == 1024
+        assert report.rounds > 0
+
+    def test_profile_by_name(self):
+        report = broadcast(512, "cluster1", seed=0, profile="laptop")
+        assert report.success
+
+    def test_kwargs_forwarded(self):
+        report = broadcast(4096, "cluster3", seed=0, delta=256)
+        assert report.extras["delta"] == 256
+
+    def test_message_bits_respected(self):
+        report = broadcast(512, "push", seed=0, message_bits=1234)
+        assert report.bits % 1234 == 0
+
+    def test_failures_applied(self):
+        report = broadcast(1024, "cluster2", seed=0, failures=100)
+        assert report.alive.sum() == 924
+        assert report.extras["failures"] == 100
+
+    def test_random_surviving_source(self):
+        # source=None picks a random alive node (Theorem 19's premise)
+        report = broadcast(1024, "cluster2", seed=3, failures=256, source=None)
+        assert report.informed_fraction > 0.9
+
+    def test_random_source_deterministic(self):
+        a = broadcast(512, "push", seed=5, source=None)
+        b = broadcast(512, "push", seed=5, source=None)
+        assert a.messages == b.messages
+
+    def test_deterministic(self):
+        a = broadcast(512, "cluster2", seed=11)
+        b = broadcast(512, "cluster2", seed=11)
+        assert a.rounds == b.rounds and a.bits == b.bits
+
+    def test_seed_changes_run(self):
+        a = broadcast(512, "push", seed=1)
+        b = broadcast(512, "push", seed=2)
+        assert a.messages != b.messages or a.spread_rounds != b.spread_rounds
+
+
+class TestReportProperties:
+    def test_row_shape(self):
+        report = broadcast(256, "push", seed=0)
+        row = report.row()
+        assert set(row) >= {"algorithm", "n", "rounds", "spread", "msgs/node"}
+
+    def test_str_renders(self):
+        report = broadcast(256, "push", seed=0)
+        assert "push(n=256)" in str(report)
+
+    def test_informed_fraction_with_failures(self):
+        report = broadcast(512, "cluster2", seed=0, failures=50)
+        assert 0.0 <= report.informed_fraction <= 1.0
+        assert report.uninformed_survivors >= 0

@@ -1,0 +1,46 @@
+"""Tests for the CLI entry point."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.n == 4096 and args.algorithm == "cluster2"
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster2" in out and "membership-update" in out
+
+    def test_run(self, capsys):
+        rc = main(["run", "--n", "512", "--algorithm", "push", "--seed", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "push(n=512)" in out and "TOTAL" in out
+
+    def test_sweep(self, capsys):
+        rc = main(
+            ["sweep", "--algorithms", "push", "--ns", "256", "512", "--seeds", "2"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "push" in out and "256" in out
+
+    def test_scenario(self, capsys):
+        rc = main(["scenario", "low-latency-smalljob"])
+        assert rc == 0
+        assert "cluster1" in capsys.readouterr().out
+
+    def test_lower_bound(self, capsys):
+        rc = main(["lower-bound", "--ns", "1024", "--seeds", "2"])
+        assert rc == 0
+        assert "Theorem 3" in capsys.readouterr().out

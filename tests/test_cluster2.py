@@ -1,0 +1,80 @@
+"""End-to-end tests for Cluster2 (Theorem 2)."""
+
+import pytest
+
+from repro.core.cluster2 import cluster2
+from repro.core.constants import loglog
+
+from conftest import build_sim
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [512, 2048, 8192])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_everyone_informed(self, n, seed):
+        sim = build_sim(n, seed=seed)
+        report = cluster2(sim, source=0)
+        assert report.success, f"informed only {report.informed_fraction:.4f}"
+
+    def test_single_final_cluster_covers_most(self):
+        sim = build_sim(4096, seed=1)
+        report = cluster2(sim)
+        cl = report.extras["clustering"]
+        # the giant cluster ends up holding (nearly) everyone
+        assert cl.clustered_count() >= 0.99 * 4096
+
+    def test_model_validated(self):
+        sim = build_sim(2048, seed=0)
+        report = cluster2(sim)
+        assert report.metrics.total.max_initiations <= 1
+
+
+class TestMessageComplexity:
+    """Theorem 2's headline: O(1) messages per node."""
+
+    @pytest.mark.parametrize("n", [1024, 4096, 16384])
+    def test_messages_per_node_bounded(self, n):
+        sim = build_sim(n, seed=0)
+        report = cluster2(sim)
+        assert report.messages_per_node <= 40  # flat constant budget
+
+    def test_messages_per_node_flat_across_n(self):
+        """The O(1) claim: msgs/node must not grow like log n (which
+        doubles over this range) — allow 40% drift."""
+        lo = cluster2(build_sim(2**9, seed=3)).messages_per_node
+        hi = cluster2(build_sim(2**15, seed=3)).messages_per_node
+        assert hi <= 1.4 * lo + 4
+
+    def test_bit_complexity_linear_in_payload(self):
+        """O(nb): doubling b roughly doubles total bits once b dominates."""
+        n = 2048
+        small = cluster2(build_sim(n, seed=5, rumor_bits=8_000)).bits
+        big = cluster2(build_sim(n, seed=5, rumor_bits=16_000)).bits
+        assert 1.5 <= big / small <= 2.5
+
+
+class TestRoundComplexity:
+    def test_rounds_are_loglog_scale(self):
+        for n in (512, 8192):
+            sim = build_sim(n, seed=0)
+            report = cluster2(sim)
+            assert report.rounds <= 40 * loglog(n) + 25
+
+    def test_phases_present(self):
+        report = cluster2(build_sim(1024, seed=0))
+        for phase in ("grow", "square", "merge-all", "bounded-push", "pull", "share"):
+            assert phase in report.metrics.phases, phase
+
+    def test_pull_phase_is_cheap(self):
+        """BoundedClusterPush's purpose: the PULL endgame costs O(n)
+        messages because most nodes are already clustered."""
+        n = 8192
+        report = cluster2(build_sim(n, seed=0))
+        assert report.metrics.phases["pull"].messages <= n
+
+
+class TestDeterminism:
+    def test_same_seed_same_run(self):
+        a = cluster2(build_sim(1024, seed=4))
+        b = cluster2(build_sim(1024, seed=4))
+        assert a.rounds == b.rounds and a.bits == b.bits

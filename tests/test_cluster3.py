@@ -1,0 +1,67 @@
+"""Tests for Cluster3(Δ) — Theorem 18's Θ(Δ)-clustering."""
+
+import pytest
+
+from repro.core.cluster3 import cluster3
+from repro.core.constants import LAPTOP
+
+from conftest import build_sim
+
+
+class TestDeltaClustering:
+    @pytest.mark.parametrize("delta", [128, 512])
+    def test_everyone_clustered(self, delta):
+        sim = build_sim(2**13, seed=0)
+        cl, report = cluster3(sim, delta)
+        assert report.all_clustered
+        cl.check_invariants()
+
+    def test_sizes_are_theta_delta(self):
+        sim = build_sim(2**13, seed=1)
+        cl, report = cluster3(sim, 512)
+        # all sizes within [1, 2*target]; the bulk near the target
+        assert report.max_size <= 2 * report.target_size
+        assert report.min_size >= 1
+
+    @pytest.mark.parametrize("delta", [128, 512])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_fanin_never_exceeds_delta(self, delta, seed):
+        sim = build_sim(2**13, seed=seed)
+        _, report = cluster3(sim, delta)
+        assert report.max_fanin <= delta
+
+    def test_message_total_linear(self):
+        n = 2**13
+        sim = build_sim(n, seed=0)
+        _, report = cluster3(sim, 256)
+        assert report.messages <= 60 * n  # O(n) with laptop constants
+
+
+class TestValidation:
+    def test_delta_too_small(self):
+        sim = build_sim(1024)
+        with pytest.raises(ValueError, match="delta must be >= 8"):
+            cluster3(sim, 4)
+
+    def test_delta_below_regime(self):
+        sim = build_sim(2**14)
+        with pytest.raises(ValueError, match="regime"):
+            cluster3(sim, 16)
+
+    def test_delta_too_large(self):
+        sim = build_sim(256)
+        with pytest.raises(ValueError, match="too large"):
+            cluster3(sim, 250)
+
+
+class TestDeterminism:
+    def test_same_seed_same_clustering(self):
+        a_sim = build_sim(2**12, seed=6)
+        b_sim = build_sim(2**12, seed=6)
+        _, ra = cluster3(a_sim, 256)
+        _, rb = cluster3(b_sim, 256)
+        assert (ra.clusters, ra.min_size, ra.max_size) == (
+            rb.clusters,
+            rb.min_size,
+            rb.max_size,
+        )

@@ -1,0 +1,67 @@
+"""Tests for ClusterPUSH-PULL(Δ) — Lemma 17 / Theorem 4."""
+
+import math
+
+import pytest
+
+from repro.core.cluster3 import cluster3
+from repro.core.cluster_push_pull import cluster3_broadcast, cluster_push_pull
+
+from conftest import build_sim
+
+
+class TestBroadcastOverClustering:
+    @pytest.mark.parametrize("delta", [128, 512])
+    def test_everyone_informed(self, delta):
+        sim = build_sim(2**13, seed=0)
+        cl, _ = cluster3(sim, delta)
+        report = cluster_push_pull(sim, cl, source=5, delta=delta)
+        assert report.success
+
+    def test_fanin_respected_during_broadcast(self):
+        n = 2**13
+        delta = 256
+        sim = build_sim(n, seed=1)
+        cl, cluster_report = cluster3(sim, delta)
+        fanin_before = sim.metrics.max_fanin
+        report = cluster_push_pull(sim, cl, delta=delta)
+        assert report.max_fanin <= delta
+        assert report.max_fanin >= fanin_before  # monotone metric
+
+    def test_iterations_scale_with_delta(self):
+        """Lemma 17: ~log n / log Δ main iterations; bigger Δ, fewer."""
+        n = 2**14
+        iters = {}
+        for delta in (128, 1024):
+            sim = build_sim(n, seed=2)
+            cl, _ = cluster3(sim, delta)
+            report = cluster_push_pull(sim, cl, delta=delta)
+            iters[delta] = report.extras["main_iterations"]
+        assert iters[1024] <= iters[128]
+
+    def test_broadcast_messages_linear(self):
+        n = 2**13
+        sim = build_sim(n, seed=0)
+        cl, _ = cluster3(sim, 256)
+        before = sim.metrics.messages
+        cluster_push_pull(sim, cl, delta=256)
+        assert sim.metrics.messages - before <= 10 * n
+
+
+class TestEndToEnd:
+    def test_cluster3_broadcast_wrapper(self):
+        report = None
+        sim = build_sim(2**12, seed=3)
+        report = cluster3_broadcast(sim, 256, source=17)
+        assert report.algorithm == "cluster3+push-pull"
+        assert report.success
+        assert report.extras["delta"] == 256
+        assert report.extras["delta_report"].all_clustered
+
+    def test_iterations_within_schedule(self):
+        n = 2**13
+        delta = 256
+        sim = build_sim(n, seed=0)
+        report = cluster3_broadcast(sim, delta)
+        sched = math.ceil(1.5 * math.log2(n) / math.log2(delta)) + 2
+        assert report.extras["main_iterations"] <= sched

@@ -1,0 +1,102 @@
+"""Unit tests for the scale profiles (repro.core.constants)."""
+
+import math
+
+import pytest
+
+from repro.core.constants import LAPTOP, PAPER, get_profile, log2n, loglog
+
+
+NS = [2**7, 2**10, 2**14, 2**18]
+
+
+class TestHelpers:
+    def test_log2n(self):
+        assert log2n(1024) == 10.0
+        assert log2n(1) == 1.0  # guarded
+
+    def test_loglog_monotone(self):
+        vals = [loglog(n) for n in NS]
+        assert vals == sorted(vals)
+
+
+class TestProfiles:
+    def test_lookup(self):
+        assert get_profile("laptop") is LAPTOP
+        assert get_profile("paper") is PAPER
+        with pytest.raises(ValueError):
+            get_profile("nope")
+
+    @pytest.mark.parametrize("profile", [LAPTOP, PAPER], ids=["laptop", "paper"])
+    @pytest.mark.parametrize("n", NS)
+    def test_cluster1_params_sane(self, profile, n):
+        p = profile.cluster1(n)
+        assert 0 < p.seed_prob <= 1
+        assert p.grow_rounds >= 1
+        assert p.min_cluster_size >= 2
+        assert p.square_step(10) > 10
+        assert p.pull_rounds >= 1
+
+    @pytest.mark.parametrize("profile", [LAPTOP, PAPER], ids=["laptop", "paper"])
+    @pytest.mark.parametrize("n", NS)
+    def test_cluster2_params_sane(self, profile, n):
+        p = profile.cluster2(n)
+        assert 0 < p.seed_prob <= 1
+        assert 0 < p.target_fraction <= 1
+        assert 1.0 < p.growth_stop_factor < 2.0
+        assert p.big_size >= 4
+        assert p.square_step(p.square_floor) > p.square_floor
+
+    @pytest.mark.parametrize("n", [2**12, 2**16])
+    def test_cluster3_params_sane(self, n):
+        p = LAPTOP.cluster3(n, 128)
+        assert p.target_size >= 2
+        assert p.delta == 128
+        assert p.square_until >= 2
+
+    def test_push_pull_iterations_shrink_with_delta(self):
+        few = LAPTOP.push_pull(2**14, 1024).main_iterations
+        many = LAPTOP.push_pull(2**14, 16).main_iterations
+        assert few < many
+
+
+class TestLaptopCalibration:
+    """The LAPTOP profile must keep every phase non-degenerate in range."""
+
+    @pytest.mark.parametrize("n", NS)
+    def test_grow_rounds_are_loglog_scale(self, n):
+        p = LAPTOP.cluster1(n)
+        assert p.grow_rounds <= 4 * loglog(n) + 6
+
+    @pytest.mark.parametrize("n", [2**12, 2**14, 2**18])
+    def test_squaring_reaches_target(self, n):
+        # the square loop must terminate: iterating square_step from the
+        # floor passes the target within O(log log n) steps.
+        p = LAPTOP.cluster1(n)
+        s = p.min_cluster_size
+        steps = 0
+        while s <= p.square_target:
+            s = p.square_step(s)
+            steps += 1
+            assert steps < 4 * loglog(n) + 8
+        p2 = LAPTOP.cluster2(n)
+        s = p2.square_floor
+        steps = 0
+        while s <= p2.square_target:
+            s = p2.square_step(s)
+            steps += 1
+            assert steps < 6 * loglog(n) + 10
+
+    @pytest.mark.parametrize("n", NS)
+    def test_expected_seed_counts_positive(self, n):
+        assert LAPTOP.cluster1(n).seed_prob * n >= 4
+        # Cluster2 seeds are deliberately scarce; >= ~1.5 expected at the
+        # bottom of the range (the seeding fallback covers the tail).
+        assert LAPTOP.cluster2(n).seed_prob * n >= 1.5
+
+    def test_paper_profile_polylog_ordering(self):
+        # In the PAPER profile the thresholds follow the paper's formulas:
+        # log^3 seeds-floor for Cluster2, log floor for Cluster1.
+        n = 2**14
+        assert PAPER.cluster2(n).big_size == math.ceil(log2n(n) ** 3)
+        assert PAPER.cluster1(n).min_cluster_size == math.ceil(0.5 * log2n(n))

@@ -1,0 +1,97 @@
+"""Unit tests for the receiver-side reductions (repro.sim.delivery)."""
+
+import numpy as np
+
+from repro.sim.delivery import (
+    NOTHING,
+    receive_all_sorted,
+    receive_any,
+    receive_counts,
+    receive_min_by_key,
+    receive_or,
+)
+from repro.sim.rng import make_rng
+
+
+class TestCounts:
+    def test_counts(self):
+        out = receive_counts(5, np.array([0, 0, 3]))
+        assert out.tolist() == [2, 0, 0, 1, 0]
+
+    def test_empty(self):
+        assert receive_counts(3, np.array([], dtype=np.int64)).tolist() == [0, 0, 0]
+
+
+class TestOr:
+    def test_or(self):
+        out = receive_or(4, np.array([1, 1, 2]))
+        assert out.tolist() == [False, True, True, False]
+
+
+class TestAny:
+    def test_nothing_when_empty(self):
+        out = receive_any(3, np.array([], dtype=np.int64), np.array([], dtype=np.int64), make_rng(0))
+        assert (out == NOTHING).all()
+
+    def test_single_delivery(self):
+        out = receive_any(3, np.array([1]), np.array([42]), make_rng(0))
+        assert out[1] == 42 and out[0] == NOTHING
+
+    def test_choice_is_uniform(self):
+        # Node 0 receives values {1, 2}; over many trials both appear ~50%.
+        dsts = np.array([0, 0])
+        values = np.array([1, 2])
+        picks = [receive_any(1, dsts, values, make_rng(s))[0] for s in range(400)]
+        ones = sum(1 for p in picks if p == 1)
+        assert 120 < ones < 280
+
+    def test_choice_among_received_only(self):
+        out = receive_any(4, np.array([2, 2, 2]), np.array([7, 8, 9]), make_rng(1))
+        assert out[2] in (7, 8, 9)
+        assert out[0] == out[1] == out[3] == NOTHING
+
+
+class TestMinByKey:
+    def test_min_key_wins(self):
+        dsts = np.array([0, 0, 1])
+        values = np.array([10, 20, 30])
+        keys = np.array([5, 3, 9])
+        out = receive_min_by_key(3, dsts, values, keys)
+        assert out[0] == 20  # key 3 < 5
+        assert out[1] == 30
+        assert out[2] == NOTHING
+
+    def test_matches_bruteforce(self):
+        rng = make_rng(7)
+        n = 30
+        m = 200
+        dsts = rng.integers(0, n, m)
+        values = rng.integers(0, 1000, m)
+        keys = rng.integers(0, 10_000, m)
+        out = receive_min_by_key(n, dsts, values, keys)
+        for node in range(n):
+            received = [(keys[i], values[i]) for i in range(m) if dsts[i] == node]
+            if not received:
+                assert out[node] == NOTHING
+            else:
+                best_key = min(k for k, _ in received)
+                best_vals = {v for k, v in received if k == best_key}
+                assert out[node] in best_vals
+
+    def test_empty(self):
+        e = np.array([], dtype=np.int64)
+        assert (receive_min_by_key(3, e, e, e) == NOTHING).all()
+
+
+class TestAllSorted:
+    def test_groups(self):
+        dsts = np.array([2, 0, 2, 1])
+        values = np.array([10, 20, 30, 40])
+        uniq, offsets, vals = receive_all_sorted(dsts, values)
+        assert uniq.tolist() == [0, 1, 2]
+        got = {int(u): sorted(vals[offsets[i] : offsets[i + 1]].tolist()) for i, u in enumerate(uniq)}
+        assert got == {0: [20], 1: [40], 2: [10, 30]}
+
+    def test_empty(self):
+        uniq, offsets, vals = receive_all_sorted(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        assert len(uniq) == 0 and offsets.tolist() == [0] and len(vals) == 0

@@ -1,0 +1,60 @@
+"""Tests for guess-test-and-double network-size estimation (paper §2)."""
+
+import math
+
+import pytest
+
+from repro.core.cluster2 import cluster2
+from repro.core.constants import LAPTOP
+from repro.core.estimate_n import guess_test_and_double, sample_test
+
+from conftest import build_sim
+
+
+class TestSampleTest:
+    def test_accepts_generous_guess(self):
+        sim = build_sim(1024, seed=0)
+        assert sample_test(sim, 2048)
+
+    def test_rejects_small_guess(self):
+        sim = build_sim(65536, seed=0)
+        assert not sample_test(sim, 64)
+
+    def test_contacts_are_charged(self):
+        sim = build_sim(1024, seed=0)
+        sample_test(sim, 1024)
+        assert sim.metrics.rounds >= 1
+        assert sim.metrics.total.pull_requests > 0
+
+
+class TestGuessTestAndDouble:
+    @pytest.mark.parametrize("n", [256, 4096, 65536])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_constant_factor_accuracy(self, n, seed):
+        sim = build_sim(n, seed=seed)
+        report = guess_test_and_double(sim)
+        assert 0.25 <= report.ratio <= 4.0
+
+    def test_phases_are_loglog(self):
+        for n in (256, 65536):
+            sim = build_sim(n, seed=0)
+            report = guess_test_and_double(sim)
+            assert report.phases <= 2 * math.log2(math.log2(n)) + 4
+
+    def test_guess_sequence_squares_then_bisects(self):
+        sim = build_sim(4096, seed=0)
+        report = guess_test_and_double(sim)
+        # the first guesses square: 4, 16, 256, ...
+        squares = report.guesses[:3]
+        assert squares[1] == squares[0] ** 2
+
+    def test_estimate_feeds_cluster2(self):
+        """End-to-end: Cluster2 parameterised by the *estimate* (not the
+        true n) still informs everyone — the paper's W.L.O.G. remark."""
+        n = 4096
+        est_sim = build_sim(n, seed=1)
+        estimate = guess_test_and_double(est_sim).estimate
+        sim = build_sim(n, seed=2)
+        params = LAPTOP.cluster2(estimate)
+        report = cluster2(sim, params=params)
+        assert report.success

@@ -1,0 +1,74 @@
+"""Unit tests for the oblivious failure patterns."""
+
+import numpy as np
+import pytest
+
+from repro.sim.failures import (
+    apply_pattern,
+    fail_fraction,
+    fail_prefix,
+    fail_random,
+    fail_smallest_uids,
+)
+from repro.sim.network import Network
+
+
+class TestPatterns:
+    def test_random_count(self):
+        net = Network(100, rng=0)
+        failed = fail_random(net, 10, rng=1)
+        assert len(failed) == 10
+        assert net.alive_count == 90
+
+    def test_random_deterministic(self):
+        a = Network(100, rng=0)
+        b = Network(100, rng=0)
+        fa = fail_random(a, 10, rng=5)
+        fb = fail_random(b, 10, rng=5)
+        assert fa.tolist() == fb.tolist()
+
+    def test_prefix(self):
+        net = Network(20, rng=0)
+        failed = fail_prefix(net, 3)
+        assert failed.tolist() == [0, 1, 2]
+
+    def test_smallest_uids(self):
+        net = Network(50, rng=1)
+        failed = fail_smallest_uids(net, 5)
+        dead_uids = net.uid[failed]
+        alive_uids = net.uid[net.alive_indices()]
+        assert dead_uids.max() < alive_uids.min()
+
+    def test_fraction(self):
+        net = Network(200, rng=0)
+        fail_fraction(net, 0.25, rng=0)
+        assert net.alive_count == 150
+
+    def test_fraction_bounds(self):
+        net = Network(10, rng=0)
+        with pytest.raises(ValueError):
+            fail_fraction(net, 1.0)
+
+
+class TestApplyPattern:
+    @pytest.mark.parametrize("pattern", ["random", "prefix", "smallest-uids"])
+    def test_named_patterns(self, pattern):
+        net = Network(40, rng=0)
+        failed = apply_pattern(net, pattern, 4, rng=0)
+        assert len(failed) == 4
+        assert not net.alive[failed].any()
+
+    def test_unknown_pattern(self):
+        net = Network(10, rng=0)
+        with pytest.raises(ValueError, match="unknown failure pattern"):
+            apply_pattern(net, "bogus", 1)
+
+    def test_cannot_kill_everyone(self):
+        net = Network(10, rng=0)
+        with pytest.raises(ValueError):
+            apply_pattern(net, "prefix", 10)
+
+    def test_negative_count(self):
+        net = Network(10, rng=0)
+        with pytest.raises(ValueError):
+            apply_pattern(net, "random", -1)

@@ -1,0 +1,67 @@
+"""Unit tests for repro.sim.ids."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.ids import DEFAULT_SPACE_EXPONENT, IdSpace, id_bits
+from repro.sim.rng import make_rng
+
+
+class TestIdSpace:
+    def test_ids_are_unique(self):
+        space = IdSpace(1000)
+        uids = space.assign(make_rng(0))
+        assert len(np.unique(uids)) == 1000
+
+    def test_ids_within_space(self):
+        space = IdSpace(500)
+        uids = space.assign(make_rng(1))
+        assert uids.min() >= 0
+        assert uids.max() < space.size
+
+    def test_space_is_polynomial(self):
+        space = IdSpace(1024)
+        assert space.size == 1024**DEFAULT_SPACE_EXPONENT
+
+    def test_bits_are_logarithmic(self):
+        space = IdSpace(1024, exponent=3)
+        assert space.bits == math.ceil(math.log2(1024**3))
+
+    def test_deterministic_given_seed(self):
+        a = IdSpace(300).assign(make_rng(7))
+        b = IdSpace(300).assign(make_rng(7))
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = IdSpace(300).assign(make_rng(7))
+        b = IdSpace(300).assign(make_rng(8))
+        assert (a != b).any()
+
+    def test_tiny_space_permutation_path(self):
+        # exponent=1 forces the dense-permutation branch.
+        space = IdSpace(16, exponent=1)
+        uids = space.assign(make_rng(0))
+        assert sorted(uids.tolist()) == sorted(set(uids.tolist()))
+        assert uids.max() < space.size
+
+    def test_single_node(self):
+        uids = IdSpace(1).assign(make_rng(0))
+        assert len(uids) == 1
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            IdSpace(0)
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            IdSpace(10, exponent=0)
+
+
+def test_id_bits_helper_matches_space():
+    assert id_bits(4096) == IdSpace(4096).bits
+
+
+def test_id_bits_grows_with_n():
+    assert id_bits(2**16) > id_bits(2**8)

@@ -1,0 +1,102 @@
+"""Tests for the Section 6 lower-bound machinery."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.lower_bound import (
+    BallGrowth,
+    ball_growth,
+    bfs_layers,
+    knowledge_can_be_complete,
+    min_feasible_rounds,
+    sample_union_graph,
+    theorem3_bound,
+)
+from repro.sim.rng import make_rng
+
+
+class TestGraphMachinery:
+    def test_union_graph_edge_count(self):
+        n, t = 100, 3
+        indptr, indices = sample_union_graph(n, t, make_rng(0))
+        # each of n*t samples adds 2 directed entries (minus self-loops)
+        assert len(indices) <= 2 * n * t
+        assert len(indices) >= 2 * n * t - 2 * n  # few self-loops
+
+    def test_bfs_distances_on_path(self):
+        # path graph 0-1-2-3
+        srcs = np.array([0, 1, 2])
+        dsts = np.array([1, 2, 3])
+        from repro.core.lower_bound import _csr_undirected
+
+        indptr, indices = _csr_undirected(4, srcs, dsts)
+        dist = bfs_layers(indptr, indices, 0)
+        assert dist.tolist() == [0, 1, 2, 3]
+
+    def test_bfs_max_depth(self):
+        srcs = np.array([0, 1, 2])
+        dsts = np.array([1, 2, 3])
+        from repro.core.lower_bound import _csr_undirected
+
+        indptr, indices = _csr_undirected(4, srcs, dsts)
+        dist = bfs_layers(indptr, indices, 0, max_depth=2)
+        assert dist.tolist() == [0, 1, 2, -1]
+
+    def test_bfs_disconnected(self):
+        from repro.core.lower_bound import _csr_undirected
+
+        indptr, indices = _csr_undirected(4, np.array([0]), np.array([1]))
+        dist = bfs_layers(indptr, indices, 0)
+        assert dist[2] == -1 and dist[3] == -1
+
+
+class TestBallGrowth:
+    def test_reach_monotone(self):
+        g = ball_growth(2**12, 8, seed=0)
+        assert g.reach == sorted(g.reach)
+        assert g.reach[0] == 1
+
+    def test_cover_detected(self):
+        g = ball_growth(2**12, 10, seed=0)
+        assert g.rounds_to_cover is not None
+        assert g.reach[g.rounds_to_cover] == 2**12
+
+    def test_no_cover_none(self):
+        g = BallGrowth(n=10, source=0, reach=[1, 5])
+        assert g.rounds_to_cover is None
+
+
+class TestTheorem3:
+    @pytest.mark.parametrize("n", [2**10, 2**14])
+    def test_min_feasible_exceeds_bound(self, n):
+        """The empirical witness of Theorem 3: even an omniscient
+        algorithm needs more than the ~0.99 loglog n bound."""
+        for seed in range(3):
+            t = min_feasible_rounds(n, seed=seed)
+            assert t >= theorem3_bound(n)
+
+    def test_min_feasible_grows_with_n(self):
+        small = min_feasible_rounds(2**8, seed=0)
+        large = min_feasible_rounds(2**18, seed=0)
+        assert large >= small
+
+    def test_min_feasible_is_loglog_scale(self):
+        """Upper side: Cluster1 exists, so feasibility must be O(loglog n)."""
+        for n in (2**10, 2**16):
+            t = min_feasible_rounds(n, seed=1)
+            assert t <= 2 * math.log2(math.log2(n)) + 2
+
+    def test_bound_monotone(self):
+        assert theorem3_bound(2**18) > theorem3_bound(2**8)
+
+    def test_knowledge_completion_threshold(self):
+        """K_t can be complete for t ~ loglog n but not for t = 1."""
+        n = 2**12
+        assert not knowledge_can_be_complete(n, 1, seed=0)
+        assert knowledge_can_be_complete(n, 6, seed=0)
+
+    def test_max_t_guard(self):
+        with pytest.raises(RuntimeError):
+            min_feasible_rounds(2**14, seed=0, max_t=1)

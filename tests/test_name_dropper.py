@@ -1,0 +1,57 @@
+"""Tests for the Name-Dropper resource-discovery baseline [9]."""
+
+import math
+
+import pytest
+
+from repro.baselines.name_dropper import (
+    name_dropper,
+    random_tree_topology,
+    ring_topology,
+)
+from repro.sim.rng import make_rng
+
+from conftest import build_sim
+
+
+class TestTopologies:
+    def test_ring(self):
+        topo = ring_topology(5)
+        assert topo == [[1], [2], [3], [4], [0]]
+
+    def test_random_tree_connected_to_root(self):
+        topo = random_tree_topology(50, make_rng(0))
+        assert topo[0] == []
+        for i, parents in enumerate(topo[1:], start=1):
+            assert len(parents) == 1 and 0 <= parents[0] < i
+
+
+class TestDiscovery:
+    @pytest.mark.parametrize("n", [32, 128])
+    def test_ring_completes(self, n):
+        sim = build_sim(n, seed=0)
+        report = name_dropper(sim)
+        assert report.complete
+        assert report.min_knowledge == n
+
+    def test_tree_completes(self):
+        n = 64
+        sim = build_sim(n, seed=1)
+        report = name_dropper(sim, random_tree_topology(n, make_rng(2)))
+        assert report.complete
+
+    def test_rounds_are_polylog(self):
+        n = 128
+        report = name_dropper(build_sim(n, seed=0))
+        assert report.rounds <= 2 * math.log2(n) ** 2 + 10
+
+    def test_bits_charged_per_id(self):
+        sim = build_sim(32, seed=0)
+        report = name_dropper(sim)
+        assert report.bits > 0
+        assert report.bits % sim.net.sizes.id_bits == 0
+
+    def test_large_n_rejected(self):
+        sim = build_sim(8192, seed=0)
+        with pytest.raises(ValueError, match="too large"):
+            name_dropper(sim)

@@ -1,0 +1,86 @@
+"""Unit tests for repro.sim.network."""
+
+import numpy as np
+import pytest
+
+from repro.sim.network import Network
+
+
+class TestConstruction:
+    def test_uids_unique(self):
+        net = Network(500, rng=0)
+        assert len(np.unique(net.uid)) == 500
+
+    def test_all_alive_initially(self):
+        net = Network(50, rng=0)
+        assert net.alive_count == 50
+
+    def test_rejects_tiny_network(self):
+        with pytest.raises(ValueError):
+            Network(1)
+
+    def test_sizes_attached(self):
+        net = Network(100, rng=0, rumor_bits=999)
+        assert net.sizes.rumor_bits == 999
+
+
+class TestFailures:
+    def test_fail_marks_dead(self):
+        net = Network(100, rng=0)
+        net.fail([3, 7])
+        assert not net.alive[3] and not net.alive[7]
+        assert net.alive_count == 98
+
+    def test_fail_empty_noop(self):
+        net = Network(10, rng=0)
+        net.fail([])
+        assert net.alive_count == 10
+
+    def test_fail_out_of_range(self):
+        net = Network(10, rng=0)
+        with pytest.raises(IndexError):
+            net.fail([10])
+
+    def test_filter_alive(self):
+        net = Network(10, rng=0)
+        net.fail([2])
+        out = net.filter_alive(np.array([1, 2, 3]))
+        assert out.tolist() == [1, 3]
+
+    def test_alive_indices(self):
+        net = Network(5, rng=0)
+        net.fail([0, 4])
+        assert net.alive_indices().tolist() == [1, 2, 3]
+
+
+class TestAddressing:
+    def test_uid_of(self):
+        net = Network(10, rng=0)
+        assert net.uid_of(3) == int(net.uid[3])
+
+    def test_index_by_uid_roundtrip(self):
+        net = Network(64, rng=1)
+        table = net.index_by_uid()
+        for i in range(64):
+            assert table[net.uid_of(i)] == i
+
+    def test_min_uid_index_global(self):
+        net = Network(64, rng=1)
+        assert net.min_uid_index() == int(np.argmin(net.uid))
+
+    def test_min_uid_index_subset(self):
+        net = Network(64, rng=1)
+        subset = np.array([5, 10, 20])
+        got = net.min_uid_index(subset)
+        assert got in subset
+        assert net.uid[got] == net.uid[subset].min()
+
+    def test_min_uid_empty_raises(self):
+        net = Network(8, rng=1)
+        with pytest.raises(ValueError):
+            net.min_uid_index(np.array([], dtype=np.int64))
+
+    def test_random_targets_in_range(self):
+        net = Network(100, rng=0)
+        t = net.random_targets(1000, np.random.default_rng(0))
+        assert t.min() >= 0 and t.max() < 100

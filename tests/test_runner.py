@@ -1,0 +1,62 @@
+"""Tests for the experiment sweep runner."""
+
+from repro.analysis.runner import RunRecord, aggregate, run_once, series, sweep
+
+
+class TestRunOnce:
+    def test_record_fields(self):
+        rec = run_once("push", 256, 0)
+        assert rec.algorithm == "push"
+        assert rec.n == 256
+        assert rec.success
+        assert rec.spread_rounds <= rec.rounds
+        assert rec.messages_per_node == rec.messages / 256
+
+    def test_extras_flattened(self):
+        rec = run_once("avin-elsasser", 256, 0)
+        assert isinstance(rec.extras.get("message_capacity"), int)
+
+    def test_failures_forwarded(self):
+        rec = run_once("cluster2", 1024, 0, failures=64)
+        assert 0.0 <= rec.informed_fraction <= 1.0
+
+
+class TestSweep:
+    def test_grid_size(self):
+        records = sweep(["push", "pull"], [256, 512], [0, 1, 2])
+        assert len(records) == 12
+
+    def test_progress_callback(self):
+        seen = []
+        sweep(["push"], [256], [0], progress=seen.append)
+        assert len(seen) == 1 and "push" in seen[0]
+
+    def test_deterministic(self):
+        a = sweep(["push"], [256], [0, 1])
+        b = sweep(["push"], [256], [0, 1])
+        assert [r.messages for r in a] == [r.messages for r in b]
+
+
+class TestAggregate:
+    def test_groups_by_algo_and_n(self):
+        records = sweep(["push"], [256, 512], [0, 1, 2])
+        rows = aggregate(records)
+        assert len(rows) == 2
+        assert all(row.runs == 3 for row in rows)
+
+    def test_success_rate(self):
+        records = sweep(["push"], [512], [0, 1])
+        rows = aggregate(records)
+        assert rows[0].success_rate == 1.0
+
+    def test_series_extraction(self):
+        records = sweep(["push"], [256, 512, 1024], [0])
+        rows = aggregate(records)
+        ns, ys = series(rows, "push", "spread_rounds")
+        assert ns == [256, 512, 1024]
+        assert ys == sorted(ys)  # spread grows with n
+
+    def test_series_missing_algo_empty(self):
+        rows = aggregate(sweep(["push"], [256], [0]))
+        ns, ys = series(rows, "pull")
+        assert ns == [] and ys == []

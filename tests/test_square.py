@@ -1,0 +1,95 @@
+"""Tests for SquareClusters (both variants)."""
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.core.constants import LAPTOP
+from repro.core.grow import grow_initial_clusters_v1, grow_initial_clusters_v2
+from repro.core.square import square_clusters_v1, square_clusters_v2
+
+from conftest import build_sim
+
+
+def grown_v1(n, seed=0):
+    sim = build_sim(n, seed=seed)
+    cl = Clustering(sim.net)
+    p = LAPTOP.cluster1(n)
+    grow_initial_clusters_v1(sim, cl, p)
+    return sim, cl, p
+
+
+def grown_v2(n, seed=0):
+    sim = build_sim(n, seed=seed)
+    cl = Clustering(sim.net)
+    p = LAPTOP.cluster2(n)
+    grow_initial_clusters_v2(sim, cl, p)
+    return sim, cl, p
+
+
+class TestSquareV1:
+    def test_reaches_target_size(self):
+        n = 2**12
+        sim, cl, p = grown_v1(n)
+        report = square_clusters_v1(sim, cl, p)
+        assert report.final_nominal_size > p.square_target
+        # actual big clusters exist
+        sizes = cl.sizes()[cl.leaders()]
+        assert sizes.max() >= p.square_target / 4
+
+    def test_clustered_nodes_not_lost(self):
+        n = 2**12
+        sim, cl, p = grown_v1(n)
+        before = cl.clustered_count()
+        square_clusters_v1(sim, cl, p)
+        # Lemma 6: all clustered nodes remain clustered (minus dissolve of
+        # sub-threshold clusters at entry).
+        assert cl.clustered_count() >= 0.8 * before
+
+    def test_iteration_budget(self):
+        n = 2**12
+        sim, cl, p = grown_v1(n)
+        report = square_clusters_v1(sim, cl, p)
+        from repro.core.constants import loglog
+
+        assert report.iterations <= 3 * loglog(n) + 5
+
+    def test_invariants(self):
+        sim, cl, p = grown_v1(2**11)
+        square_clusters_v1(sim, cl, p)
+        cl.check_invariants()
+
+    def test_history_recorded(self):
+        sim, cl, p = grown_v1(2**12)
+        report = square_clusters_v1(sim, cl, p)
+        assert len(report.sizes_history) == report.iterations
+
+
+class TestSquareV2:
+    def test_cluster_sizes_grow(self):
+        n = 2**13
+        sim, cl, p = grown_v2(n)
+        sizes_before = cl.sizes()[cl.leaders()]
+        report = square_clusters_v2(sim, cl, p)
+        sizes_after = cl.sizes()[cl.leaders()]
+        if report.iterations > 0:
+            assert sizes_after.max() > sizes_before.max()
+
+    def test_stop_at_override(self):
+        n = 2**13
+        sim, cl, p = grown_v2(n)
+        report = square_clusters_v2(sim, cl, p, stop_at=p.square_floor - 1)
+        assert report.iterations == 0
+
+    def test_messages_bounded(self):
+        """Only the Theta(x*) clustered fraction communicates (Lemma 12)."""
+        n = 2**13
+        sim, cl, p = grown_v2(n)
+        before = sim.metrics.messages
+        square_clusters_v2(sim, cl, p)
+        per_node = (sim.metrics.messages - before) / n
+        assert per_node <= 6 * p.target_fraction * 10  # loose O(x*) budget
+
+    def test_invariants(self):
+        sim, cl, p = grown_v2(2**12)
+        square_clusters_v2(sim, cl, p)
+        cl.check_invariants()

@@ -1,0 +1,54 @@
+"""Tests for the ASCII table renderer."""
+
+import os
+
+import pytest
+
+from repro.analysis.tables import Table, render_table
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add(1, 2.5)
+        text = t.render()
+        assert "demo" in text and "2.5" in text
+
+    def test_arity_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_save(self, tmp_path):
+        t = Table("demo", ["x"], caption="cap")
+        t.add(42)
+        path = t.save("exp-test", directory=str(tmp_path))
+        assert os.path.exists(path)
+        content = open(path).read()
+        assert "42" in content and "cap" in content
+
+    def test_emit_prints_and_saves(self, tmp_path, capsys):
+        t = Table("demo", ["x"])
+        t.add(1)
+        t.emit("exp-emit", directory=str(tmp_path))
+        assert "demo" in capsys.readouterr().out
+        assert os.path.exists(tmp_path / "exp-emit.txt")
+
+
+class TestRender:
+    def test_alignment(self):
+        text = render_table("t", ["col"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-1].strip() == "100"
+
+    def test_float_formatting(self):
+        text = render_table("t", ["v"], [[3.14159]])
+        assert "3.142" in text
+
+    def test_large_numbers_get_commas(self):
+        text = render_table("t", ["v"], [[1234567.0]])
+        assert "1,234,567" in text
+
+    def test_nan(self):
+        text = render_table("t", ["v"], [[float("nan")]])
+        assert "nan" in text

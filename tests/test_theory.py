@@ -1,0 +1,103 @@
+"""Tests for the growth-shape fits (repro.analysis.theory)."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    best_growth_class,
+    delta_tradeoff_rounds,
+    fit_growth,
+    grows_slower_than,
+    predicted_messages_per_node,
+    predicted_rounds,
+)
+
+NS = [2**8, 2**10, 2**12, 2**14, 2**16, 2**18]
+
+
+def synth(family, a=3.0, b=5.0):
+    from repro.analysis.theory import GROWTH_FAMILIES
+
+    f = GROWTH_FAMILIES[family]
+    return [a * f(math.log2(n)) + b for n in NS]
+
+
+class TestFits:
+    @pytest.mark.parametrize("family", ["loglog", "sqrtlog", "log"])
+    def test_exact_recovery(self, family):
+        ys = synth(family)
+        fit = fit_growth(NS, ys, family)
+        assert math.isclose(fit.a, 3.0, rel_tol=1e-9)
+        assert math.isclose(fit.b, 5.0, rel_tol=1e-9)
+        assert fit.r2 > 0.999999
+
+    def test_prediction(self):
+        fit = fit_growth(NS, synth("log"), "log")
+        assert math.isclose(fit.predict(2**20), 3.0 * 20 + 5.0)
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            fit_growth(NS, synth("log"), "exp")
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            fit_growth([256], [3.0], "log")
+
+
+class TestClassification:
+    @pytest.mark.parametrize("family", ["loglog", "sqrtlog", "log"])
+    def test_identifies_generating_family(self, family):
+        ys = synth(family)
+        best = best_growth_class(NS, ys)
+        assert best.family == family
+
+    def test_flat_classified_const(self):
+        best = best_growth_class(NS, [7.0] * len(NS))
+        assert best.family == "const"
+
+    def test_noisy_log_still_log(self):
+        import random
+
+        rnd = random.Random(0)
+        ys = [y + rnd.uniform(-0.5, 0.5) for y in synth("log")]
+        assert best_growth_class(NS, ys).family == "log"
+
+
+class TestSlowerThan:
+    def test_flat_grows_slower_than_log(self):
+        assert grows_slower_than(NS, [10.0] * len(NS), "log")
+
+    def test_log_not_slower_than_log(self):
+        assert not grows_slower_than(NS, synth("log"), "log")
+
+    def test_loglog_slower_than_log(self):
+        # a loglog curve rises far less than its own log-fit predicts
+        ys = synth("loglog", a=8.0)
+        assert grows_slower_than(NS, ys, "log", factor=0.9)
+
+
+class TestPredictions:
+    def test_rounds_ordering_at_large_n(self):
+        n = 2**30
+        assert (
+            predicted_rounds("cluster2", n)
+            < predicted_rounds("avin-elsasser", n)
+            < predicted_rounds("push", n)
+        )
+
+    def test_messages_ordering_at_large_n(self):
+        n = 2**30
+        assert (
+            predicted_messages_per_node("cluster2", n)
+            < predicted_messages_per_node("median-counter", n)
+            < predicted_messages_per_node("push", n)
+        )
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            predicted_rounds("bogus", 100)
+
+    def test_delta_tradeoff(self):
+        assert delta_tradeoff_rounds(2**16, 2**8) == 2.0
+        assert delta_tradeoff_rounds(2**16, 16) == 4.0

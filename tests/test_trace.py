@@ -1,0 +1,47 @@
+"""Unit tests for execution tracing."""
+
+from repro.sim.trace import Trace, TraceEvent, null_trace
+
+
+class TestTrace:
+    def test_emit_and_iterate(self):
+        t = Trace()
+        t.emit(1, "phase", name="grow")
+        t.emit(2, "phase", name="square")
+        assert len(t) == 2
+        assert [e.kind for e in t] == ["phase", "phase"]
+
+    def test_of_kind(self):
+        t = Trace()
+        t.emit(1, "a")
+        t.emit(2, "b")
+        t.emit(3, "a")
+        assert [e.round for e in t.of_kind("a")] == [1, 3]
+
+    def test_last(self):
+        t = Trace()
+        t.emit(1, "x", v=1)
+        t.emit(5, "x", v=2)
+        assert t.last("x").data["v"] == 2
+        assert t.last("missing") is None
+
+    def test_render(self):
+        t = Trace()
+        t.emit(3, "join", count=7)
+        text = t.render()
+        assert "r   3" in text and "count=7" in text
+
+    def test_event_str(self):
+        e = TraceEvent(12, "pull", {"joined": 4})
+        assert "pull" in str(e) and "joined=4" in str(e)
+
+
+class TestNullTrace:
+    def test_disabled_records_nothing(self):
+        t = null_trace()
+        before = len(t)
+        t.emit(1, "anything", x=1)
+        assert len(t) == before
+
+    def test_shared_instance(self):
+        assert null_trace() is null_trace()

@@ -1,0 +1,43 @@
+"""Tests for the named workload scenarios."""
+
+import pytest
+
+from repro.workloads.scenarios import SCENARIOS, get_scenario, run_scenario
+
+
+class TestScenarioTable:
+    def test_all_have_descriptions(self):
+        for name, sc in SCENARIOS.items():
+            assert sc.name == name
+            assert len(sc.description) > 10
+
+    def test_lookup(self):
+        assert get_scenario("membership-update").algorithm == "cluster2"
+        with pytest.raises(ValueError, match="unknown scenario"):
+            get_scenario("nope")
+
+
+class TestScenarioRuns:
+    def test_membership_update(self):
+        report = run_scenario("membership-update", seed=0, n=2048)
+        assert report.success
+
+    def test_failure_storm_tolerates(self):
+        report = run_scenario("failure-storm", seed=0, n=2048, failures=200)
+        assert report.informed_fraction >= 0.97
+
+    def test_bounded_fanin(self):
+        report = run_scenario("bounded-fanin-datacenter", seed=0, n=2048, delta=128)
+        assert report.max_fanin <= 128
+        assert report.success
+
+    def test_config_fanout_payload_dominates(self):
+        report = run_scenario("config-fanout", seed=0, n=1024)
+        assert report.success
+        # the 8 KiB payload dominates the bit count: >= half the bits are
+        # rumor transfers
+        assert report.bits >= 1024 * 8 * 8192 / 2
+
+    def test_overrides_apply(self):
+        report = run_scenario("low-latency-smalljob", seed=0, n=512)
+        assert report.n == 512
