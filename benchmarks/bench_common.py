@@ -1,12 +1,26 @@
-"""Helpers shared by the experiment benches."""
+"""Helpers shared by the experiment benches.
+
+All benches run their grids through the job executor in
+:mod:`repro.analysis.runner`; ``REPRO_BENCH_WORKERS`` controls the worker
+process count (default: one per core; records are bit-identical for any
+value, so parallelism is purely a wall-clock lever).
+"""
 
 from __future__ import annotations
 
 import os
 from typing import List, Sequence
 
-from repro.analysis.runner import AggregateRow, RunRecord, aggregate, sweep
+from repro.analysis.runner import (
+    AggregateRow,
+    RunRecord,
+    RunSpec,
+    aggregate,
+    sweep,
+    sweep_reports,
+)
 from repro.analysis.tables import Table
+from repro.core.result import AlgorithmReport
 
 #: Where tables are written (repo-root results/ when run from the repo).
 RESULTS_DIR = os.environ.get(
@@ -17,13 +31,53 @@ RESULTS_DIR = os.environ.get(
 #: Seeds used by every experiment (w.h.p. claims need several).
 SEEDS = [0, 1, 2]
 
+#: Worker processes for every bench grid; 0 = one per core.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+
 
 def standard_sweep(
     algorithms: Sequence[str], ns: Sequence[int], seeds: Sequence[int] = SEEDS, **kw
 ) -> List[RunRecord]:
     """The common sweep shape with model-checking off for speed (the test
     suite pins model validity; benches measure)."""
-    return sweep(algorithms, ns, seeds, check_model=False, **kw)
+    return sweep(algorithms, ns, seeds, check_model=False, workers=WORKERS, **kw)
+
+
+def report_sweep(specs: Sequence[RunSpec]) -> List[AlgorithmReport]:
+    """Run explicit jobs through the executor, keeping full reports
+    (phase metrics, clusterings, survivor counts) in input order."""
+    return sweep_reports(specs, workers=WORKERS)
+
+
+def grouped_report_sweep(cells, make_spec, seeds: Sequence[int] = SEEDS) -> dict:
+    """Run ``make_spec(cell, seed)`` jobs for every cell × seed and return
+    ``{cell: [report per seed]}``.
+
+    Keeps the cell/seed ↔ report index arithmetic in one place so bench
+    fixtures cannot mis-slice the flat result list.
+    """
+    specs = [make_spec(cell, seed) for cell in cells for seed in seeds]
+    reports = report_sweep(specs)
+    return {
+        cell: reports[i * len(seeds) : (i + 1) * len(seeds)]
+        for i, cell in enumerate(cells)
+    }
+
+
+def bench_spec(algorithm: str, n: int, seed: int, **kw) -> RunSpec:
+    """A bench-flavored job: model checking off, broadcast-level knobs
+    (``failures``, ``source``…) split from algorithm knobs in ``kw``."""
+    failures = kw.pop("failures", 0)
+    source = kw.pop("source", 0)
+    return RunSpec(
+        algorithm=algorithm,
+        n=n,
+        seed=seed,
+        source=source,
+        failures=failures,
+        check_model=False,
+        kwargs=kw,
+    )
 
 
 def emit(table: Table, exp_id: str) -> str:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import emit
+from bench_common import bench_spec, emit, grouped_report_sweep
 from repro.analysis.stats import summarize, wilson_interval
 from repro.analysis.tables import Table
 from repro.core.broadcast import broadcast
@@ -24,13 +24,10 @@ ALGOS = ["cluster1", "cluster2"]
 
 @pytest.fixture(scope="module")
 def runs():
-    out = {}
-    for algo in ALGOS:
-        for n in NS:
-            out[(algo, n)] = [
-                broadcast(n, algo, seed=s, check_model=False) for s in SEEDS
-            ]
-    return out
+    cells = [(algo, n) for algo in ALGOS for n in NS]
+    return grouped_report_sweep(
+        cells, lambda cell, s: bench_spec(cell[0], cell[1], s), SEEDS
+    )
 
 
 def test_e10_table(runs):

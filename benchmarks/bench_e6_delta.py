@@ -15,7 +15,7 @@ import math
 
 import pytest
 
-from bench_common import emit
+from bench_common import bench_spec, emit, grouped_report_sweep
 from repro.analysis.tables import Table
 from repro.analysis.theory import delta_tradeoff_rounds
 from repro.core.broadcast import broadcast
@@ -27,13 +27,9 @@ SEEDS = [0, 1, 2]
 
 @pytest.fixture(scope="module")
 def runs():
-    out = {}
-    for delta in DELTAS:
-        out[delta] = [
-            broadcast(N, "cluster3", seed=s, delta=delta, check_model=False)
-            for s in SEEDS
-        ]
-    return out
+    return grouped_report_sweep(
+        DELTAS, lambda delta, s: bench_spec("cluster3", N, s, delta=delta), SEEDS
+    )
 
 
 def test_e6_table(runs):

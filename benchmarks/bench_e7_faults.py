@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from bench_common import emit
+from bench_common import bench_spec, emit, grouped_report_sweep, report_sweep
 from repro.analysis.tables import Table
 from repro.core.broadcast import broadcast
 
@@ -21,19 +21,18 @@ SEEDS = [0, 1, 2]
 
 @pytest.fixture(scope="module")
 def runs():
-    out = {}
-    for frac in FRACTIONS:
-        F = int(frac * N)
-        out[frac] = [
-            broadcast(N, "cluster2", seed=s, failures=F, source=None, check_model=False)
-            for s in SEEDS
-        ]
-    return out
+    return grouped_report_sweep(
+        FRACTIONS,
+        lambda frac, s: bench_spec(
+            "cluster2", N, s, failures=int(frac * N), source=None
+        ),
+        SEEDS,
+    )
 
 
 @pytest.fixture(scope="module")
 def clean():
-    return [broadcast(N, "cluster2", seed=s, check_model=False) for s in SEEDS]
+    return report_sweep([bench_spec("cluster2", N, s) for s in SEEDS])
 
 
 def test_e7_table(runs, clean):

@@ -22,18 +22,26 @@ Layout:
 * :mod:`repro.workloads` — named scenario presets.
 """
 
-from repro.core.broadcast import BroadcastResult, algorithm_names, broadcast
+from repro.core.broadcast import BroadcastResult, broadcast
 from repro.core.clustering import UNCLUSTERED, Clustering
 from repro.core.constants import LAPTOP, PAPER, Profile, get_profile
 from repro.core.result import AlgorithmReport
+from repro.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    algorithm_specs,
+    get_algorithm,
+    register_algorithm,
+)
 from repro.sim.engine import ModelViolation, Simulator
 from repro.sim.metrics import Metrics
 from repro.sim.network import Network
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AlgorithmReport",
+    "AlgorithmSpec",
     "BroadcastResult",
     "Clustering",
     "LAPTOP",
@@ -45,7 +53,10 @@ __all__ = [
     "Simulator",
     "UNCLUSTERED",
     "algorithm_names",
+    "algorithm_specs",
     "broadcast",
+    "get_algorithm",
     "get_profile",
+    "register_algorithm",
     "__version__",
 ]

@@ -1,16 +1,62 @@
-"""Experiment sweeps: ``algorithm x n x seed`` grids into flat records.
+"""Experiment sweeps: grids expand into flat jobs, jobs run on N cores.
 
-Every bench builds on :func:`sweep`; records are plain dataclasses so
-tables, fits and tests consume them without pandas.
+Every bench builds on :func:`sweep`: a grid is expanded by
+:func:`expand_grid` into picklable :class:`RunSpec` jobs, and
+:func:`execute` runs them either serially or on a
+``concurrent.futures.ProcessPoolExecutor`` (``workers=``).  Each job
+derives every random stream from its own seed, so records are
+**bit-identical regardless of worker count or completion order** —
+results are always reassembled in deterministic grid order.  Records are
+plain dataclasses so tables, fits and tests consume them without pandas.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.analysis.stats import Summary, summarize
 from repro.core.broadcast import broadcast
+from repro.core.result import AlgorithmReport
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One flat, picklable job: everything :func:`broadcast` needs.
+
+    The unit of work the sweep executor ships to worker processes;
+    scenario suites (:mod:`repro.workloads.scenarios`) compile to these
+    too, so every grid in the library runs through one executor.
+    """
+
+    algorithm: str
+    n: int
+    seed: int
+    source: Optional[int] = 0
+    message_bits: int = 256
+    failures: int = 0
+    failure_pattern: str = "random"
+    check_model: bool = True
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def run(self) -> AlgorithmReport:
+        """Execute this job, returning the full report."""
+        return broadcast(
+            self.n,
+            self.algorithm,
+            seed=self.seed,
+            source=self.source,
+            message_bits=self.message_bits,
+            failures=self.failures,
+            failure_pattern=self.failure_pattern,
+            check_model=self.check_model,
+            **self.kwargs,
+        )
+
+    def describe(self) -> str:
+        return f"{self.algorithm} n={self.n} seed={self.seed}"
 
 
 @dataclass(frozen=True)
@@ -31,35 +77,17 @@ class RunRecord:
     extras: Dict[str, Any] = field(default_factory=dict)
 
 
-def run_once(
-    algorithm: str,
-    n: int,
-    seed: int,
-    *,
-    message_bits: int = 256,
-    failures: int = 0,
-    check_model: bool = True,
-    **kwargs: Any,
-) -> RunRecord:
-    """Run one configuration through :func:`repro.core.broadcast.broadcast`."""
-    report = broadcast(
-        n,
-        algorithm,
-        seed=seed,
-        message_bits=message_bits,
-        failures=failures,
-        check_model=check_model,
-        **kwargs,
-    )
+def record_from_report(report: AlgorithmReport, spec: RunSpec) -> RunRecord:
+    """Flatten a report into the picklable record the executor returns."""
     keep_extras = {
         k: v
         for k, v in report.extras.items()
         if isinstance(v, (int, float, str, bool))
     }
     return RunRecord(
-        algorithm=algorithm,
-        n=n,
-        seed=seed,
+        algorithm=spec.algorithm,
+        n=spec.n,
+        seed=spec.seed,
         rounds=report.rounds,
         spread_rounds=report.spread_rounds,
         messages=report.messages,
@@ -72,6 +100,124 @@ def run_once(
     )
 
 
+def run_spec(spec: RunSpec) -> RunRecord:
+    """Top-level worker entry point (must stay module-level: it is
+    pickled by name into pool processes)."""
+    return record_from_report(spec.run(), spec)
+
+
+def run_spec_report(spec: RunSpec) -> AlgorithmReport:
+    """Worker entry point for report-shaped execution (benches that need
+    clusterings, phase metrics, or ``uninformed_survivors``)."""
+    return spec.run()
+
+
+def run_once(
+    algorithm: str,
+    n: int,
+    seed: int,
+    *,
+    source: Optional[int] = 0,
+    message_bits: int = 256,
+    failures: int = 0,
+    failure_pattern: str = "random",
+    check_model: bool = True,
+    **kwargs: Any,
+) -> RunRecord:
+    """Run one configuration through :func:`repro.core.broadcast.broadcast`."""
+    return run_spec(
+        RunSpec(
+            algorithm=algorithm,
+            n=n,
+            seed=seed,
+            source=source,
+            message_bits=message_bits,
+            failures=failures,
+            failure_pattern=failure_pattern,
+            check_model=check_model,
+            kwargs=kwargs,
+        )
+    )
+
+
+def expand_grid(
+    algorithms: Sequence[str],
+    ns: Sequence[int],
+    seeds: Sequence[int],
+    *,
+    source: Optional[int] = 0,
+    message_bits: int = 256,
+    failures: int = 0,
+    failure_pattern: str = "random",
+    check_model: bool = True,
+    **kwargs: Any,
+) -> List[RunSpec]:
+    """Flatten an ``algorithm x n x seed`` grid into jobs, algorithm-major
+    (the historical serial-loop order, which fixes the output order)."""
+    return [
+        RunSpec(
+            algorithm=algorithm,
+            n=n,
+            seed=seed,
+            source=source,
+            message_bits=message_bits,
+            failures=failures,
+            failure_pattern=failure_pattern,
+            check_model=check_model,
+            kwargs=dict(kwargs),
+        )
+        for algorithm in algorithms
+        for n in ns
+        for seed in seeds
+    ]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalise a ``workers`` knob: None/0/negative mean 'auto' = one per
+    available core; 1 means serial."""
+    if workers is None or workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return int(workers)
+
+
+def execute(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    job: Callable[[RunSpec], Any] = run_spec,
+) -> List[Any]:
+    """Run jobs and return their results **in input order**.
+
+    ``workers=1`` (default) runs in-process; ``workers>1`` fans jobs out
+    to a process pool, ``workers<=0``/None one worker per core.  Each
+    job's randomness derives from its own :class:`RunSpec` seed, so the
+    result list is identical for every worker count.  ``job`` selects the
+    execution shape: :func:`run_spec` (flat records, the default) or
+    :func:`run_spec_report` (full reports).
+    """
+    workers = resolve_workers(workers)
+    if workers == 1 or len(specs) <= 1:
+        results = []
+        for spec in specs:
+            results.append(job(spec))
+            if progress is not None:
+                progress(f"{spec.describe()} done")
+        return results
+
+    results: List[Any] = [None] * len(specs)
+    with ProcessPoolExecutor(max_workers=min(workers, len(specs))) as pool:
+        pending = {pool.submit(job, spec): i for i, spec in enumerate(specs)}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                i = pending.pop(fut)
+                results[i] = fut.result()
+                if progress is not None:
+                    progress(f"{specs[i].describe()} done")
+    return results
+
+
 def sweep(
     algorithms: Sequence[str],
     ns: Sequence[int],
@@ -80,28 +226,33 @@ def sweep(
     message_bits: int = 256,
     failures: int = 0,
     check_model: bool = True,
+    workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
     **kwargs: Any,
 ) -> List[RunRecord]:
-    """Full grid sweep; deterministic given the seed list."""
-    records: List[RunRecord] = []
-    for algorithm in algorithms:
-        for n in ns:
-            for seed in seeds:
-                records.append(
-                    run_once(
-                        algorithm,
-                        n,
-                        seed,
-                        message_bits=message_bits,
-                        failures=failures,
-                        check_model=check_model,
-                        **kwargs,
-                    )
-                )
-                if progress is not None:
-                    progress(f"{algorithm} n={n} seed={seed} done")
-    return records
+    """Full grid sweep; deterministic given the seed list, bit-identical
+    for every ``workers`` value."""
+    specs = expand_grid(
+        algorithms,
+        ns,
+        seeds,
+        message_bits=message_bits,
+        failures=failures,
+        check_model=check_model,
+        **kwargs,
+    )
+    return execute(specs, workers=workers, progress=progress)
+
+
+def sweep_reports(
+    specs: Sequence[RunSpec],
+    *,
+    workers: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[AlgorithmReport]:
+    """Execute jobs returning full :class:`AlgorithmReport` objects
+    (still in input order; reports are picklable, just heavier)."""
+    return execute(specs, workers=workers, progress=progress, job=run_spec_report)
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,7 @@ from repro.core.primitives import (
 )
 from repro.core.pull_phase import unclustered_nodes_pull
 from repro.core.result import AlgorithmReport, report_from_sim
+from repro.registry import register_algorithm
 from repro.sim.delivery import NOTHING
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace, null_trace
@@ -84,6 +85,12 @@ def _capped_active_senders(cl: Clustering, cap: int) -> np.ndarray:
     return members[rank < cap]
 
 
+@register_algorithm(
+    "avin-elsasser",
+    category="baseline",
+    kwargs=("message_capacity",),
+    doc="Avin–Elsässer [1] reconstruction: Θ(√log n) rounds and msgs.",
+)
 def avin_elsasser(
     sim: Simulator,
     source: int = 0,

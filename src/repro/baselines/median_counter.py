@@ -28,6 +28,7 @@ import math
 import numpy as np
 
 from repro.core.result import AlgorithmReport, report_from_sim
+from repro.registry import register_algorithm
 from repro.sim.delivery import receive_counts
 from repro.sim.engine import Simulator
 from repro.sim.protocol import VectorProtocol, run_protocol
@@ -136,6 +137,12 @@ def median_counter_round_cap(n: int) -> int:
     return math.ceil(3 * math.log2(max(n, 2))) + 20
 
 
+@register_algorithm(
+    "median-counter",
+    category="baseline",
+    kwargs=("max_rounds",),
+    doc="Karp et al. [10]: Θ(log n) rounds, O(log log n) msgs/node.",
+)
 def median_counter(
     sim: Simulator, source: int = 0, *, trace: Trace = None, max_rounds: int = None
 ) -> AlgorithmReport:

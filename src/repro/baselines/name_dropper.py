@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.registry import register_algorithm
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace, null_trace
 
@@ -53,6 +54,13 @@ def random_tree_topology(n: int, rng: np.random.Generator) -> List[List[int]]:
     return [[] if i == 0 else [int(rng.integers(0, i))] for i in range(n)]
 
 
+@register_algorithm(
+    "name-dropper",
+    category="discovery",
+    broadcastable=False,
+    kwargs=("initial_knows", "max_rounds"),
+    doc="Harchol-Balter et al. [9]: O(log² n)-round resource discovery.",
+)
 def name_dropper(
     sim: Simulator,
     initial_knows: Optional[Sequence[Sequence[int]]] = None,

@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from repro.core.result import AlgorithmReport, report_from_sim
+from repro.registry import register_algorithm
 from repro.sim.engine import Simulator
 from repro.sim.protocol import VectorProtocol, run_protocol
 from repro.sim.trace import Trace, null_trace
@@ -55,6 +56,12 @@ def push_pull_round_cap(n: int) -> int:
     return math.ceil(math.log(max(n, 2), 3)) + 10
 
 
+@register_algorithm(
+    "push-pull",
+    category="baseline",
+    kwargs=("max_rounds",),
+    doc="PUSH-PULL gossip [10]: log3 n + O(log log n) rounds.",
+)
 def uniform_push_pull(
     sim: Simulator, source: int = 0, *, trace: Trace = None, max_rounds: int = None
 ) -> AlgorithmReport:

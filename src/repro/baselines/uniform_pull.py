@@ -15,6 +15,7 @@ import math
 import numpy as np
 
 from repro.core.result import AlgorithmReport, report_from_sim
+from repro.registry import register_algorithm
 from repro.sim.engine import Simulator
 from repro.sim.protocol import VectorProtocol, run_protocol
 from repro.sim.trace import Trace, null_trace
@@ -53,6 +54,12 @@ def pull_round_cap(n: int) -> int:
     return math.ceil(1.5 * math.log2(max(n, 2))) + 8
 
 
+@register_algorithm(
+    "pull",
+    category="baseline",
+    kwargs=("max_rounds",),
+    doc="Uniform PULL gossip: Θ(log n) rounds, cost in contacts not bits.",
+)
 def uniform_pull(
     sim: Simulator, source: int = 0, *, trace: Trace = None, max_rounds: int = None
 ) -> AlgorithmReport:

@@ -14,6 +14,7 @@ import math
 import numpy as np
 
 from repro.core.result import AlgorithmReport, report_from_sim
+from repro.registry import register_algorithm
 from repro.sim.engine import Simulator
 from repro.sim.protocol import VectorProtocol, run_protocol
 from repro.sim.trace import Trace, null_trace
@@ -54,6 +55,12 @@ def push_round_cap(n: int) -> int:
     return math.ceil(math.log2(max(n, 2)) + math.log(max(n, 2))) + 12
 
 
+@register_algorithm(
+    "push",
+    category="baseline",
+    kwargs=("max_rounds",),
+    doc="Classic uniform PUSH gossip [12]: Θ(log n) rounds and msgs/node.",
+)
 def uniform_push(
     sim: Simulator, source: int = 0, *, trace: Trace = None, max_rounds: int = None
 ) -> AlgorithmReport:

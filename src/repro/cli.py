@@ -3,10 +3,13 @@
 Commands:
 
 * ``run`` — one broadcast with full phase breakdown;
-* ``sweep`` — an algorithm x n x seed grid, rendered as a table;
+* ``sweep`` — an algorithm x n x seed grid, rendered as a table
+  (``--workers N`` fans the jobs out over N processes);
 * ``scenario`` — a named workload preset;
+* ``suite`` — a scenario x seed grid through the parallel executor;
 * ``lower-bound`` — the Section 6 feasibility experiment;
-* ``list`` — algorithms and scenarios.
+* ``list-algorithms`` / ``list-scenarios`` — the registry catalogues
+  (``list`` prints both).
 """
 
 from __future__ import annotations
@@ -17,9 +20,15 @@ from typing import List, Optional
 
 from repro.analysis.runner import aggregate, sweep
 from repro.analysis.tables import Table
-from repro.core.broadcast import algorithm_names, broadcast
+from repro.core.broadcast import broadcast
 from repro.core.lower_bound import min_feasible_rounds, theorem3_bound
-from repro.workloads.scenarios import SCENARIOS, run_scenario
+from repro.registry import algorithm_names, algorithm_specs
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    run_scenario,
+    run_suite,
+    scenario_names,
+)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -36,13 +45,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if report.informed_fraction > 0 else 1
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    records = sweep(
-        args.algorithms,
-        args.ns,
-        list(range(args.seeds)),
-        message_bits=args.message_bits,
-    )
+def _sweep_table(records) -> Table:
     table = Table(
         title="sweep",
         columns=["algorithm", "n", "spread rounds", "msgs/node", "bits/node", "maxΔ", "success"],
@@ -57,7 +60,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             row.max_fanin,
             f"{row.success_rate:.2f}",
         )
-    print(table.render())
+    return table
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    records = sweep(
+        args.algorithms,
+        args.ns,
+        list(range(args.seeds)),
+        message_bits=args.message_bits,
+        workers=args.workers,
+    )
+    print(_sweep_table(records).render())
     return 0
 
 
@@ -68,6 +82,33 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     print()
     print(report.metrics.phase_report())
     return 0
+
+
+def _cmd_suite(args: argparse.Namespace) -> int:
+    results = run_suite(
+        args.names or None,
+        seeds=range(args.seeds),
+        workers=args.workers,
+    )
+    table = Table(
+        title=f"scenario suite ({args.seeds} seed(s))",
+        columns=["scenario", "algorithm", "n", "spread", "msgs/node", "maxΔ", "informed"],
+    )
+    by_scenario = {}
+    for cell in results:
+        by_scenario.setdefault(cell.scenario, []).append(cell.record)
+    for name, recs in by_scenario.items():
+        table.add(
+            name,
+            recs[0].algorithm,
+            recs[0].n,
+            f"{sum(r.spread_rounds for r in recs) / len(recs):.1f}",
+            f"{sum(r.messages_per_node for r in recs) / len(recs):.2f}",
+            max(r.max_fanin for r in recs),
+            f"{sum(r.informed_fraction for r in recs) / len(recs):.4f}",
+        )
+    print(table.render())
+    return 0 if all(cell.record.informed_fraction > 0 for cell in results) else 1
 
 
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
@@ -82,13 +123,25 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_list(args: argparse.Namespace) -> int:
+def _cmd_list_algorithms(args: argparse.Namespace) -> int:
     print("algorithms:")
-    for name in algorithm_names():
-        print(f"  {name}")
+    for spec in algorithm_specs():
+        flags = spec.category + ("" if spec.broadcastable else ", not broadcastable")
+        knobs = f" [{', '.join(spec.kwargs)}]" if spec.kwargs else ""
+        print(f"  {spec.name} ({flags}){knobs}: {spec.doc}")
+    return 0
+
+
+def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     print("scenarios:")
-    for name, sc in sorted(SCENARIOS.items()):
-        print(f"  {name}: {sc.description}")
+    for name in scenario_names():
+        print(f"  {name}: {SCENARIOS[name].description}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    _cmd_list_algorithms(args)
+    _cmd_list_scenarios(args)
     return 0
 
 
@@ -112,6 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--ns", nargs="+", type=int, default=[2**10, 2**12, 2**14])
     p_sweep.add_argument("--seeds", type=int, default=3)
     p_sweep.add_argument("--message-bits", type=int, default=256)
+    p_sweep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (1 = serial, 0 = one per core); records are "
+        "bit-identical for every value",
+    )
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_sc = sub.add_parser("scenario", help="run a named workload")
@@ -119,10 +179,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_sc.add_argument("--seed", type=int, default=0)
     p_sc.set_defaults(func=_cmd_scenario)
 
+    p_suite = sub.add_parser("suite", help="scenario x seed grid")
+    p_suite.add_argument(
+        "names", nargs="*", help="scenario names (default: whole catalogue)"
+    )
+    p_suite.add_argument("--seeds", type=int, default=1)
+    p_suite.add_argument("--workers", type=int, default=1)
+    p_suite.set_defaults(func=_cmd_suite)
+
     p_lb = sub.add_parser("lower-bound", help="Theorem 3 feasibility experiment")
     p_lb.add_argument("--ns", nargs="+", type=int, default=[2**10, 2**14, 2**18])
     p_lb.add_argument("--seeds", type=int, default=5)
     p_lb.set_defaults(func=_cmd_lower_bound)
+
+    p_la = sub.add_parser("list-algorithms", help="the algorithm registry")
+    p_la.set_defaults(func=_cmd_list_algorithms)
+
+    p_ls = sub.add_parser("list-scenarios", help="the scenario catalogue")
+    p_ls.set_defaults(func=_cmd_list_scenarios)
 
     p_list = sub.add_parser("list", help="list algorithms and scenarios")
     p_list.set_defaults(func=_cmd_list)

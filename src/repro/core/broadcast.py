@@ -5,17 +5,20 @@
     >>> result.success, result.rounds, round(result.messages_per_node, 1)
     (True, ..., ...)
 
-Algorithms are looked up in :data:`ALGORITHMS`; the registry spans the
-paper's algorithms and every baseline, so sweeps in
-:mod:`repro.analysis.runner` can iterate uniformly.
+Dispatch is a thin lookup in :mod:`repro.registry`: every algorithm —
+the paper's and every baseline — self-registers an
+:class:`~repro.registry.AlgorithmSpec`, so sweeps in
+:mod:`repro.analysis.runner` iterate the same catalogue uniformly and
+third-party algorithms plug in without touching this module.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Optional
 
 from repro.core.constants import LAPTOP, Profile, get_profile
 from repro.core.result import AlgorithmReport
+from repro.registry import algorithm_names, get_algorithm
 from repro.sim.engine import Simulator
 from repro.sim.failures import apply_pattern
 from repro.sim.metrics import Metrics
@@ -26,55 +29,7 @@ from repro.sim.trace import Trace
 #: Re-exported so ``from repro import BroadcastResult`` reads naturally.
 BroadcastResult = AlgorithmReport
 
-
-def _registry() -> Dict[str, Callable]:
-    """Name -> runner(sim, source, profile, trace) for every algorithm.
-
-    Built lazily so that :mod:`repro.baselines` (which imports
-    :mod:`repro.core.result`) does not create an import cycle.
-    """
-    from repro.baselines.avin_elsasser import avin_elsasser
-    from repro.baselines.median_counter import median_counter
-    from repro.baselines.uniform_pull import uniform_pull
-    from repro.baselines.uniform_push import uniform_push
-    from repro.baselines.push_pull import uniform_push_pull
-    from repro.core.cluster1 import cluster1
-    from repro.core.cluster2 import cluster2
-    from repro.core.cluster_push_pull import cluster3_broadcast
-
-    def _wrap_plain(fn):
-        def run(sim, source, profile, trace, **kw):
-            return fn(sim, source, trace=trace, **kw)
-
-        return run
-
-    def _wrap_profiled(fn):
-        def run(sim, source, profile, trace, **kw):
-            return fn(sim, source, profile=profile, trace=trace, **kw)
-
-        return run
-
-    def _cluster3(sim, source, profile, trace, **kw):
-        delta = kw.pop("delta", max(8, int(round(sim.net.n ** 0.5))))
-        return cluster3_broadcast(
-            sim, delta, source, profile=profile, trace=trace, **kw
-        )
-
-    return {
-        "cluster1": _wrap_profiled(cluster1),
-        "cluster2": _wrap_profiled(cluster2),
-        "cluster3": _cluster3,
-        "push": _wrap_plain(uniform_push),
-        "pull": _wrap_plain(uniform_pull),
-        "push-pull": _wrap_plain(uniform_push_pull),
-        "median-counter": _wrap_plain(median_counter),
-        "avin-elsasser": _wrap_plain(avin_elsasser),
-    }
-
-
-def algorithm_names() -> "list[str]":
-    """Names accepted by :func:`broadcast`."""
-    return sorted(_registry())
+__all__ = ["BroadcastResult", "algorithm_names", "broadcast"]
 
 
 def broadcast(
@@ -98,7 +53,8 @@ def broadcast(
     n:
         Network size.
     algorithm:
-        One of :func:`algorithm_names` (default the paper's Cluster2).
+        One of :func:`repro.registry.algorithm_names` (default the
+        paper's Cluster2).
     seed:
         Master seed; network addressing, failures and the algorithm's coins
         all derive deterministic substreams from it.
@@ -119,16 +75,13 @@ def broadcast(
     check_model:
         Enable the engine's one-initiation-per-round validation.
     algorithm_kwargs:
-        Extra knobs forwarded to the algorithm (e.g. ``delta=64`` for
-        ``cluster3``).
+        Extra knobs forwarded to the algorithm (its
+        :class:`~repro.registry.AlgorithmSpec` lists the accepted names,
+        e.g. ``delta=64`` for ``cluster3``).
     """
+    spec = get_algorithm(algorithm)
     if isinstance(profile, str):
         profile = get_profile(profile)
-    registry = _registry()
-    if algorithm not in registry:
-        raise ValueError(
-            f"unknown algorithm {algorithm!r}; choose from {sorted(registry)}"
-        )
     if source is not None and not 0 <= source < n:
         raise ValueError(f"source {source} out of range for n={n}")
 
@@ -144,7 +97,7 @@ def broadcast(
         Metrics(n),
         check_model=check_model,
     )
-    report = registry[algorithm](sim, source, profile, trace, **algorithm_kwargs)
+    report = spec.run(sim, source, profile, trace, **algorithm_kwargs)
     report.extras.setdefault("seed", seed)
     report.extras.setdefault("failures", failures)
     return report

@@ -33,10 +33,18 @@ from repro.core.primitives import cluster_share_rumor
 from repro.core.pull_phase import unclustered_nodes_pull
 from repro.core.result import AlgorithmReport, report_from_sim
 from repro.core.square import square_clusters_v1
+from repro.registry import register_algorithm
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace, null_trace
 
 
+@register_algorithm(
+    "cluster1",
+    category="core",
+    uses_profile=True,
+    kwargs=("params",),
+    doc="Algorithm 1: simple O(log log n)-round clustered gossip.",
+)
 def cluster1(
     sim: Simulator,
     source: int = 0,

@@ -35,10 +35,18 @@ from repro.core.primitives import cluster_share_rumor
 from repro.core.pull_phase import bounded_cluster_push, unclustered_nodes_pull
 from repro.core.result import AlgorithmReport, report_from_sim
 from repro.core.square import square_clusters_v2
+from repro.registry import register_algorithm
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace, null_trace
 
 
+@register_algorithm(
+    "cluster2",
+    category="core",
+    uses_profile=True,
+    kwargs=("params",),
+    doc="Algorithm 2: optimal rounds, messages and bits (Theorem 2).",
+)
 def cluster2(
     sim: Simulator,
     source: int = 0,

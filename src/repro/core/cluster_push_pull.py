@@ -25,6 +25,7 @@ from repro.core.clustering import Clustering
 from repro.core.constants import LAPTOP, Profile, PushPullParams
 from repro.core.primitives import cluster_share_rumor
 from repro.core.result import AlgorithmReport, report_from_sim
+from repro.registry import register_algorithm
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace, null_trace
 
@@ -134,3 +135,32 @@ def cluster3_broadcast(
     report.extras["delta_report"] = delta_report
     report.extras["delta"] = delta
     return report
+
+
+@register_algorithm(
+    "cluster3",
+    category="core",
+    uses_profile=True,
+    kwargs=("delta",),
+    doc="Algorithm 4 + 3: Θ(Δ)-clustering then Δ-bounded broadcast.",
+)
+def cluster3_gossip(
+    sim: Simulator,
+    source: int = 0,
+    *,
+    profile: Profile = LAPTOP,
+    trace: Trace = None,
+    delta: Optional[int] = None,
+) -> AlgorithmReport:
+    """Registry entry point for ``cluster3``: defaults ``Δ ≈ sqrt(n)``,
+    raised to the profile's ``Δ = log^{ω(1)} n`` regime floor (Cluster3
+    needs its Θ(Δ) target size to dominate the grow phase's polylog
+    cluster sizes, which ``sqrt(n)`` alone undershoots at small ``n``).
+    """
+    if delta is None:
+        n = sim.net.n
+        delta = max(8, int(round(n**0.5)))
+        probe = profile.cluster3(n, delta)
+        c_resize = max(1, round(delta / max(probe.target_size, 1)))
+        delta = max(delta, c_resize * profile.cluster2(n).big_size)
+    return cluster3_broadcast(sim, delta, source, profile=profile, trace=trace)

@@ -1,0 +1,231 @@
+"""First-class algorithm registry: the library's plugin layer.
+
+Every broadcast algorithm — the paper's Cluster1/2/3 and each baseline —
+self-registers at import time with :func:`register_algorithm`, declaring
+its name, category, accepted keyword knobs and a one-line doc.  The
+registry is then the single source of truth for
+
+* :func:`repro.core.broadcast.broadcast` (lookup-and-run dispatch),
+* the sweep executor in :mod:`repro.analysis.runner` (names travel in
+  picklable :class:`~repro.analysis.runner.RunSpec` jobs),
+* scenario validation in :mod:`repro.workloads.scenarios`, and
+* the CLI's ``list-algorithms`` catalogue.
+
+Adding an algorithm is one decorator — no edits to the dispatch core::
+
+    from repro.registry import register_algorithm
+
+    @register_algorithm(
+        "my-gossip", category="baseline", kwargs=("max_rounds",),
+        doc="My experimental gossip variant.",
+    )
+    def my_gossip(sim, source=0, *, trace=None, max_rounds=None):
+        ...
+        return report_from_sim("my-gossip", sim, informed, trace)
+
+Registered runners share the calling convention
+``runner(sim, source, **knobs)`` with ``trace=`` always passed and
+``profile=`` passed iff the spec declares ``uses_profile``.  Entries with
+``broadcastable=False`` (e.g. Name-Dropper, a *discovery* protocol with
+its own report type) are catalogued but rejected by ``broadcast()``.
+
+The registry itself imports nothing from :mod:`repro.core` or
+:mod:`repro.baselines`; those modules import *it*, so there is no cycle.
+:func:`ensure_builtins_loaded` imports the built-in algorithm modules on
+first lookup so that ``broadcast(n, "push")`` works without the caller
+importing :mod:`repro.baselines` first.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class DuplicateAlgorithmError(ValueError):
+    """Two registrations claimed the same algorithm name."""
+
+
+class UnknownAlgorithmError(ValueError):
+    """Lookup of a name nobody registered."""
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered algorithm: identity, entry point, and calling shape.
+
+    Parameters
+    ----------
+    name:
+        Public name (what ``broadcast()``, sweeps and the CLI use).
+    runner:
+        The entry-point callable.
+    category:
+        ``"core"`` (the paper's algorithms), ``"baseline"`` (prior work),
+        or ``"discovery"`` (resource-discovery protocols that do not fit
+        the broadcast report shape).
+    uses_profile:
+        Whether the runner takes a ``profile=`` constant-resolution knob.
+    broadcastable:
+        Whether :func:`repro.core.broadcast.broadcast` may dispatch to it.
+    kwargs:
+        Names of the extra keyword knobs the runner accepts (documented
+        surface for scenario validation and ``list-algorithms``).
+    doc:
+        One-line description for catalogues.
+    """
+
+    name: str
+    runner: Callable[..., Any]
+    category: str = "baseline"
+    uses_profile: bool = False
+    broadcastable: bool = True
+    kwargs: Tuple[str, ...] = ()
+    doc: str = ""
+
+    def run(self, sim, source, profile, trace, **algorithm_kwargs):
+        """Invoke the runner with the uniform dispatch convention."""
+        if not self.broadcastable:
+            raise ValueError(
+                f"algorithm {self.name!r} (category {self.category!r}) is not "
+                "a broadcast algorithm; call its entry point directly"
+            )
+        call: Dict[str, Any] = dict(algorithm_kwargs)
+        call["trace"] = trace
+        if self.uses_profile:
+            call["profile"] = profile
+        return self.runner(sim, source, **call)
+
+
+_REGISTRY: Dict[str, AlgorithmSpec] = {}
+
+#: Modules whose import registers the built-in algorithms.
+_BUILTIN_MODULES: Tuple[str, ...] = (
+    "repro.core.cluster1",
+    "repro.core.cluster2",
+    "repro.core.cluster_push_pull",
+    "repro.baselines.uniform_push",
+    "repro.baselines.uniform_pull",
+    "repro.baselines.push_pull",
+    "repro.baselines.median_counter",
+    "repro.baselines.avin_elsasser",
+    "repro.baselines.name_dropper",
+)
+
+_builtins_loaded = False
+
+
+def ensure_builtins_loaded() -> None:
+    """Import the built-in algorithm modules once (idempotent).
+
+    Deferred to first lookup so that importing :mod:`repro.registry` from
+    an algorithm module (to use the decorator) never re-enters the
+    algorithm packages mid-import.
+    """
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    for module in _BUILTIN_MODULES:
+        importlib.import_module(module)
+    # Only marked loaded on full success: a failed import propagates and
+    # the next lookup retries instead of serving a silently partial
+    # catalogue.  (Re-entrant calls during the loop are safe — modules
+    # already in progress come back from sys.modules.)
+    _builtins_loaded = True
+
+
+def register_algorithm(
+    name: str,
+    *,
+    category: str = "baseline",
+    uses_profile: bool = False,
+    broadcastable: bool = True,
+    kwargs: Sequence[str] = (),
+    doc: Optional[str] = None,
+) -> Callable[[Callable], Callable]:
+    """Class the decorated entry point as algorithm ``name``.
+
+    Returns the function unchanged, so modules keep their plain callables
+    for direct use.  ``doc`` defaults to the first line of the runner's
+    docstring.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        summary = doc
+        if summary is None:
+            summary = (fn.__doc__ or "").strip().splitlines()[0] if fn.__doc__ else ""
+        register_spec(
+            AlgorithmSpec(
+                name=name,
+                runner=fn,
+                category=category,
+                uses_profile=uses_profile,
+                broadcastable=broadcastable,
+                kwargs=tuple(kwargs),
+                doc=summary,
+            )
+        )
+        return fn
+
+    return decorate
+
+
+def register_spec(spec: AlgorithmSpec) -> AlgorithmSpec:
+    """Register a fully built spec (the decorator funnels through here).
+
+    Re-registering the *same* entry point (same module and qualname —
+    what ``importlib.reload`` produces) replaces the stale spec so
+    interactive iteration works; a different function claiming a taken
+    name is a conflict.
+    """
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None:
+        same_function = (
+            getattr(existing.runner, "__module__", None)
+            == getattr(spec.runner, "__module__", object())
+            and getattr(existing.runner, "__qualname__", None)
+            == getattr(spec.runner, "__qualname__", object())
+        )
+        if not same_function:
+            raise DuplicateAlgorithmError(
+                f"algorithm {spec.name!r} is already registered "
+                f"(by {existing.runner!r})"
+            )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_algorithm(name: str) -> None:
+    """Remove a registration (tests and interactive experimentation)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look an algorithm up by name.
+
+    Raises :class:`UnknownAlgorithmError` (a ``ValueError``) with the
+    available names on a miss.
+    """
+    ensure_builtins_loaded()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; choose from "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def algorithm_specs(*, broadcastable_only: bool = False) -> List[AlgorithmSpec]:
+    """All registered specs, sorted by name."""
+    ensure_builtins_loaded()
+    specs = sorted(_REGISTRY.values(), key=lambda s: s.name)
+    if broadcastable_only:
+        specs = [s for s in specs if s.broadcastable]
+    return specs
+
+
+def algorithm_names(*, broadcastable_only: bool = True) -> List[str]:
+    """Registered names; by default only those ``broadcast()`` accepts."""
+    return [s.name for s in algorithm_specs(broadcastable_only=broadcastable_only)]

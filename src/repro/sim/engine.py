@@ -199,23 +199,26 @@ class Round:
                 )
 
         # Fan-in: pushes received + pull requests received, at alive nodes.
-        fanin = np.zeros(n, dtype=np.int64)
+        # All ops' destinations concatenate into one array so one bincount
+        # covers the whole round (the per-op loop was the commit hot spot).
         pushes = push_bits = 0
         for op in self._pushes:
-            arrived = op.dsts[sim.net.alive[op.dsts]]
-            if len(arrived):
-                fanin += np.bincount(arrived, minlength=n)
             pushes += len(op.srcs)
             push_bits += int(op.bits_per_msg.sum())
         pull_requests = pull_responses = pull_bits = 0
         for op in self._pulls:
-            arrived = op.dsts[sim.net.alive[op.dsts]]
-            if len(arrived):
-                fanin += np.bincount(arrived, minlength=n)
             pull_requests += len(op.srcs)
             answered = int(op.responds.sum())
             pull_responses += answered
             pull_bits += int(op.bits_per_response[op.responds].sum())
+
+        all_dsts = [op.dsts for op in self._pushes] + [op.dsts for op in self._pulls]
+        max_fanin = 0
+        if all_dsts:
+            dsts = np.concatenate(all_dsts)
+            arrived = dsts[sim.net.alive[dsts]]
+            if len(arrived):
+                max_fanin = int(np.bincount(arrived, minlength=n).max())
 
         sim.metrics.record_round(
             pushes=pushes,
@@ -223,7 +226,7 @@ class Round:
             pull_requests=pull_requests,
             pull_responses=pull_responses,
             pull_bits=pull_bits,
-            max_fanin=int(fanin.max()) if n else 0,
+            max_fanin=max_fanin,
             max_initiations=int(init_counts.max()) if len(all_init) else 0,
         )
 
@@ -292,8 +295,10 @@ class Simulator:
         return out
 
     def random_targets(self, srcs: np.ndarray) -> np.ndarray:
-        """One uniformly random contact target per source."""
-        return self.net.random_targets(len(srcs), self.rng)
+        """One uniformly random *other* contact target per source (the
+        model's random phone call never dials the caller itself)."""
+        srcs = np.asarray(srcs, dtype=np.int64)
+        return self.net.random_targets(len(srcs), self.rng, exclude=srcs)
 
     def idle_round(self, label: str = "idle") -> None:
         """A round in which nobody communicates (still counts)."""

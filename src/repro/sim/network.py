@@ -108,8 +108,28 @@ class Network:
         return int(indices[np.argmin(self.uid[indices])])
 
     def random_targets(
-        self, count: int, rng: np.random.Generator
+        self,
+        count: int,
+        rng: np.random.Generator,
+        *,
+        exclude: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Uniformly random contact targets (may be dead — contacts to
-        failed nodes are simply lost, as in the model)."""
-        return rng.integers(0, self.n, size=count, dtype=np.int64)
+        failed nodes are simply lost, as in the model).
+
+        ``exclude`` (parallel to the output) removes one index per draw:
+        in the random phone call model a node phones a uniformly random
+        *other* node, so callers pass their source indices here.  The
+        draw stays a single vectorised sample: pick from ``n - 1`` slots
+        and shift the ones at or above the excluded index up by one.
+        """
+        if exclude is None:
+            return rng.integers(0, self.n, size=count, dtype=np.int64)
+        exclude = np.asarray(exclude, dtype=np.int64)
+        if exclude.shape != (count,):
+            raise ValueError(
+                f"exclude has shape {exclude.shape}, expected ({count},)"
+            )
+        targets = rng.integers(0, self.n - 1, size=count, dtype=np.int64)
+        targets += targets >= exclude
+        return targets

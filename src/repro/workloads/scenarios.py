@@ -5,20 +5,35 @@ fanning out configuration updates, and staying live through correlated
 failures — each maps to a named parameterisation of
 :func:`repro.core.broadcast.broadcast` so examples and tests exercise the
 API the way a downstream user would.
+
+Scenarios are **registry-validated**: constructing one checks its
+algorithm (and every extra knob) against
+:mod:`repro.registry`, so a typo fails at definition time, not after a
+long sweep.  They also compile to the executor's
+:class:`~repro.analysis.runner.RunSpec` jobs, so
+:func:`run_suite` can fan a whole scenario × seed grid out over worker
+processes with deterministic, bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.analysis.runner import RunRecord, RunSpec, execute
 from repro.core.broadcast import broadcast
 from repro.core.result import AlgorithmReport
+from repro.registry import get_algorithm
 
 
 @dataclass(frozen=True)
 class Scenario:
-    """A named broadcast workload."""
+    """A named broadcast workload.
+
+    Validated against the algorithm registry on construction: the
+    algorithm must be a registered broadcastable name and every extra
+    keyword must be one of its declared knobs.
+    """
 
     name: str
     description: str
@@ -28,6 +43,32 @@ class Scenario:
     failures: int = 0
     failure_pattern: str = "random"
     kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        spec = get_algorithm(self.algorithm)  # raises on unknown names
+        if not spec.broadcastable:
+            raise ValueError(
+                f"scenario {self.name!r}: algorithm {self.algorithm!r} is "
+                f"not a broadcast algorithm (category {spec.category!r})"
+            )
+        unknown = set(self.kwargs) - set(spec.kwargs)
+        if unknown:
+            raise ValueError(
+                f"scenario {self.name!r}: {self.algorithm!r} does not accept "
+                f"{sorted(unknown)}; declared knobs are {sorted(spec.kwargs)}"
+            )
+
+    def run_spec(self, seed: int = 0) -> RunSpec:
+        """Compile to one executor job."""
+        return RunSpec(
+            algorithm=self.algorithm,
+            n=self.n,
+            seed=seed,
+            message_bits=self.message_bits,
+            failures=self.failures,
+            failure_pattern=self.failure_pattern,
+            kwargs=dict(self.kwargs),
+        )
 
     def run(self, seed: int = 0, **overrides: Any) -> AlgorithmReport:
         """Execute the scenario (``overrides`` patch any broadcast arg)."""
@@ -44,64 +85,79 @@ class Scenario:
         return broadcast(**args)
 
 
-SCENARIOS: Dict[str, Scenario] = {
-    s.name: s
-    for s in [
-        Scenario(
-            name="membership-update",
-            description=(
-                "A 16k-node cluster disseminates a membership delta "
-                "(small payload) with optimal message cost — Cluster2."
-            ),
-            n=2**14,
-            algorithm="cluster2",
-            message_bits=512,
+SCENARIOS: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add a scenario to the catalogue (extension point for users)."""
+    if scenario.name in SCENARIOS:
+        raise ValueError(f"scenario {scenario.name!r} is already registered")
+    SCENARIOS[scenario.name] = scenario
+    return scenario
+
+
+for _scenario in [
+    Scenario(
+        name="membership-update",
+        description=(
+            "A 16k-node cluster disseminates a membership delta "
+            "(small payload) with optimal message cost — Cluster2."
         ),
-        Scenario(
-            name="config-fanout",
-            description=(
-                "An 8 KiB configuration blob fans out over 4k nodes; "
-                "payload dominates, so the O(nb)-bit guarantee matters."
-            ),
-            n=2**12,
-            algorithm="cluster2",
-            message_bits=8 * 8192,
+        n=2**14,
+        algorithm="cluster2",
+        message_bits=512,
+    ),
+    Scenario(
+        name="config-fanout",
+        description=(
+            "An 8 KiB configuration blob fans out over 4k nodes; "
+            "payload dominates, so the O(nb)-bit guarantee matters."
         ),
-        Scenario(
-            name="failure-storm",
-            description=(
-                "10% of 16k nodes fail obliviously before the broadcast; "
-                "Theorem 19: all but o(F) survivors still informed."
-            ),
-            n=2**14,
-            algorithm="cluster2",
-            message_bits=512,
-            failures=2**14 // 10,
+        n=2**12,
+        algorithm="cluster2",
+        message_bits=8 * 8192,
+    ),
+    Scenario(
+        name="failure-storm",
+        description=(
+            "10% of 16k nodes fail obliviously before the broadcast; "
+            "Theorem 19: all but o(F) survivors still informed."
         ),
-        Scenario(
-            name="bounded-fanin-datacenter",
-            description=(
-                "Top-of-rack style fan-in limits: a Δ=64 clustering keeps "
-                "every node under 64 connections per round (Theorem 4)."
-            ),
-            n=2**13,
-            algorithm="cluster3",
-            message_bits=512,
-            kwargs={"delta": 64},
+        n=2**14,
+        algorithm="cluster2",
+        message_bits=512,
+        failures=2**14 // 10,
+    ),
+    Scenario(
+        name="bounded-fanin-datacenter",
+        description=(
+            "Top-of-rack style fan-in limits: a Δ=128 clustering keeps "
+            "every node under 128 connections per round (Theorem 4)."
         ),
-        Scenario(
-            name="low-latency-smalljob",
-            description=(
-                "A small 1k-node job where simplicity beats thrift — "
-                "Cluster1 (or push-pull) spreads fastest in wall-clock "
-                "rounds at this scale."
-            ),
-            n=2**10,
-            algorithm="cluster1",
-            message_bits=256,
+        n=2**13,
+        algorithm="cluster3",
+        message_bits=512,
+        kwargs={"delta": 128},
+    ),
+    Scenario(
+        name="low-latency-smalljob",
+        description=(
+            "A small 1k-node job where simplicity beats thrift — "
+            "Cluster1 (or push-pull) spreads fastest in wall-clock "
+            "rounds at this scale."
         ),
-    ]
-}
+        n=2**10,
+        algorithm="cluster1",
+        message_bits=256,
+    ),
+]:
+    register_scenario(_scenario)
+del _scenario
+
+
+def scenario_names() -> List[str]:
+    """Registered scenario names, sorted."""
+    return sorted(SCENARIOS)
 
 
 def get_scenario(name: str) -> Scenario:
@@ -117,3 +173,41 @@ def get_scenario(name: str) -> Scenario:
 def run_scenario(name: str, seed: int = 0, **overrides: Any) -> AlgorithmReport:
     """Run a named scenario."""
     return get_scenario(name).run(seed=seed, **overrides)
+
+
+@dataclass(frozen=True)
+class SuiteRecord:
+    """One suite cell: which scenario produced which record."""
+
+    scenario: str
+    record: RunRecord
+
+
+def run_suite(
+    names: Optional[Sequence[str]] = None,
+    seeds: Iterable[int] = (0,),
+    *,
+    workers: int = 1,
+    progress=None,
+) -> List[SuiteRecord]:
+    """Sweep a scenario × seed grid through the job executor.
+
+    ``names`` defaults to the whole catalogue.  Jobs fan out over
+    ``workers`` processes (same bit-identical guarantee as
+    :func:`repro.analysis.runner.sweep`); results come back
+    scenario-major in catalogue order.
+    """
+    names = list(names) if names is not None else scenario_names()
+    seeds = list(seeds)
+    cells: List[Tuple[str, RunSpec]] = [
+        (name, get_scenario(name).run_spec(seed))
+        for name in names
+        for seed in seeds
+    ]
+    records = execute(
+        [spec for _, spec in cells], workers=workers, progress=progress
+    )
+    return [
+        SuiteRecord(scenario=name, record=rec)
+        for (name, _), rec in zip(cells, records)
+    ]

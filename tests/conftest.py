@@ -1,42 +1,17 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite (helpers live in ``helpers.py``)."""
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
-from repro.sim.engine import Simulator
-from repro.sim.metrics import Metrics
-from repro.sim.network import Network
-from repro.sim.rng import make_rng
-
-
-def build_sim(n: int, seed: int = 0, *, rumor_bits: int = 256, check_model: bool = True) -> Simulator:
-    """A fresh simulator with deterministic addressing and coins."""
-    net = Network(n, rng=seed, rumor_bits=rumor_bits)
-    return Simulator(net, make_rng(seed + 1), Metrics(n), check_model=check_model)
+from helpers import build_sim
 
 
 @pytest.fixture
-def sim256() -> Simulator:
+def sim256():
     return build_sim(256)
 
 
 @pytest.fixture
-def sim1k() -> Simulator:
+def sim1k():
     return build_sim(1024)
-
-
-def manual_clustering(sim: Simulator, cluster_size: int):
-    """Partition all nodes into consecutive-index clusters of a given size.
-
-    A deterministic clustering for unit-testing primitives in isolation;
-    the leader of each block is its first index.
-    """
-    from repro.core.clustering import Clustering
-
-    cl = Clustering(sim.net)
-    idx = np.arange(sim.net.n)
-    cl.follow[:] = (idx // cluster_size) * cluster_size
-    cl.check_invariants()
-    return cl

@@ -10,7 +10,7 @@ from repro.baselines.avin_elsasser import (
     default_capacity,
 )
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestCorrectness:

@@ -8,7 +8,7 @@ from repro.baselines.push_pull import push_pull_round_cap, uniform_push_pull
 from repro.baselines.uniform_pull import pull_round_cap, uniform_pull
 from repro.baselines.uniform_push import push_round_cap, uniform_push
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 ALGOS = [

@@ -6,7 +6,7 @@ from repro.core.cluster1 import cluster1
 from repro.core.constants import LAPTOP, loglog
 from repro.sim.trace import Trace
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestCorrectness:

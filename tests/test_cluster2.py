@@ -5,7 +5,7 @@ import pytest
 from repro.core.cluster2 import cluster2
 from repro.core.constants import loglog
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestCorrectness:

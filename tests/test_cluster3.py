@@ -5,7 +5,7 @@ import pytest
 from repro.core.cluster3 import cluster3
 from repro.core.constants import LAPTOP
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestDeltaClustering:

@@ -7,7 +7,7 @@ import pytest
 from repro.core.cluster3 import cluster3
 from repro.core.cluster_push_pull import cluster3_broadcast, cluster_push_pull
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestBroadcastOverClustering:

@@ -6,7 +6,7 @@ import pytest
 from repro.core.clustering import UNCLUSTERED, Clustering
 from repro.sim.network import Network
 
-from conftest import build_sim, manual_clustering
+from helpers import build_sim, manual_clustering
 
 
 class TestBasics:

@@ -8,7 +8,7 @@ from repro.sim.metrics import Metrics
 from repro.sim.network import Network
 from repro.sim.rng import make_rng
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestModelValidation:
@@ -156,6 +156,12 @@ class TestRoundLifecycle:
     def test_random_targets_length(self):
         sim = build_sim(10)
         assert len(sim.random_targets(np.arange(7))) == 7
+
+    def test_random_targets_never_self(self):
+        sim = build_sim(16)
+        srcs = np.arange(16)
+        for _ in range(50):
+            assert (sim.random_targets(srcs) != srcs).all()
 
     def test_default_metrics_created(self):
         net = Network(8, rng=0)

@@ -8,7 +8,7 @@ from repro.core.cluster2 import cluster2
 from repro.core.constants import LAPTOP
 from repro.core.estimate_n import guess_test_and_double, sample_test
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestSampleTest:

@@ -12,7 +12,7 @@ from repro.core.grow import (
 )
 from repro.sim.trace import Trace
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestSeeding:

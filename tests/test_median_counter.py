@@ -13,7 +13,7 @@ from repro.baselines.median_counter import (
     median_counter,
 )
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestCorrectness:

@@ -6,7 +6,7 @@ from repro.core.clustering import Clustering
 from repro.core.constants import LAPTOP
 from repro.core.merge_phase import merge_all_clusters, merge_to_delta_clusters
 
-from conftest import build_sim, manual_clustering
+from helpers import build_sim, manual_clustering
 
 
 class TestMergeAll:

@@ -11,7 +11,7 @@ from repro.baselines.name_dropper import (
 )
 from repro.sim.rng import make_rng
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class TestTopologies:

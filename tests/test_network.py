@@ -84,3 +84,23 @@ class TestAddressing:
         net = Network(100, rng=0)
         t = net.random_targets(1000, np.random.default_rng(0))
         assert t.min() >= 0 and t.max() < 100
+
+    def test_random_targets_exclude_self(self):
+        net = Network(10, rng=0)
+        srcs = np.arange(10).repeat(100)
+        t = net.random_targets(len(srcs), np.random.default_rng(0), exclude=srcs)
+        assert (t != srcs).all()
+        assert t.min() >= 0 and t.max() < 10
+        # every other node is still reachable
+        assert len(np.unique(t[srcs == 0])) == 9
+
+    def test_random_targets_exclude_uniform_two_nodes(self):
+        net = Network(2, rng=0)
+        srcs = np.zeros(50, dtype=np.int64)
+        t = net.random_targets(50, np.random.default_rng(1), exclude=srcs)
+        assert (t == 1).all()
+
+    def test_random_targets_exclude_shape_checked(self):
+        net = Network(10, rng=0)
+        with pytest.raises(ValueError):
+            net.random_targets(5, np.random.default_rng(0), exclude=np.arange(3))

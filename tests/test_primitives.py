@@ -22,7 +22,7 @@ from repro.core.primitives import (
 )
 from repro.sim.delivery import NOTHING
 
-from conftest import build_sim, manual_clustering
+from helpers import build_sim, manual_clustering
 
 
 class TestClusterActivate:

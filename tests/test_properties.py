@@ -15,7 +15,7 @@ from repro.core.primitives import cluster_merge, cluster_resize
 from repro.sim.delivery import NOTHING, receive_any, receive_counts, receive_min_by_key
 from repro.sim.rng import make_rng
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 # ----------------------------------------------------------------------

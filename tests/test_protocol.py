@@ -6,7 +6,7 @@ import pytest
 from repro.sim.protocol import ProtocolResult, VectorProtocol, run_protocol
 from repro.sim.trace import Trace
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 class CountdownProtocol(VectorProtocol):

@@ -5,7 +5,7 @@ import numpy as np
 from repro.core.clustering import UNCLUSTERED, Clustering
 from repro.core.pull_phase import bounded_cluster_push, unclustered_nodes_pull
 
-from conftest import build_sim, manual_clustering
+from helpers import build_sim, manual_clustering
 
 
 class TestUnclusteredPull:

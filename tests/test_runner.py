@@ -1,6 +1,16 @@
 """Tests for the experiment sweep runner."""
 
-from repro.analysis.runner import RunRecord, aggregate, run_once, series, sweep
+from repro.analysis.runner import (
+    RunRecord,
+    RunSpec,
+    aggregate,
+    execute,
+    expand_grid,
+    run_once,
+    series,
+    sweep,
+    sweep_reports,
+)
 
 
 class TestRunOnce:
@@ -20,6 +30,13 @@ class TestRunOnce:
         rec = run_once("cluster2", 1024, 0, failures=64)
         assert 0.0 <= rec.informed_fraction <= 1.0
 
+    def test_source_forwarded(self):
+        # source routes into the RunSpec field, not algorithm kwargs
+        # (source=None worked in v1.0's run_once and must keep working)
+        rec = run_once("push", 256, 3, source=None)
+        assert rec == run_once("push", 256, 3, source=None)
+        assert sweep(["push"], [256], [0], source=None)[0].success
+
 
 class TestSweep:
     def test_grid_size(self):
@@ -37,6 +54,57 @@ class TestSweep:
         assert [r.messages for r in a] == [r.messages for r in b]
 
 
+class TestExecutor:
+    def test_expand_grid_order(self):
+        specs = expand_grid(["push", "pull"], [256, 512], [0, 1])
+        assert len(specs) == 8
+        # algorithm-major, then n, then seed — the historical loop order
+        assert [(s.algorithm, s.n, s.seed) for s in specs[:3]] == [
+            ("push", 256, 0),
+            ("push", 256, 1),
+            ("push", 512, 0),
+        ]
+
+    def test_specs_carry_knobs(self):
+        (spec,) = expand_grid(["cluster3"], [4096], [0], delta=256)
+        assert spec.kwargs == {"delta": 256}
+        rec = execute([spec])[0]
+        assert rec.extras["delta"] == 256
+
+    def test_parallel_records_identical_to_serial(self):
+        grid = (["push", "pull", "cluster2"], [256, 512], [0, 1])
+        serial = sweep(*grid, workers=1)
+        parallel = sweep(*grid, workers=2)
+        assert serial == parallel
+
+    def test_parallel_progress_covers_all_jobs(self):
+        seen = []
+        sweep(["push"], [256], [0, 1, 2], workers=2, progress=seen.append)
+        assert len(seen) == 3
+
+    def test_workers_auto(self):
+        # workers=0 means one per core; records stay identical
+        assert sweep(["push"], [256], [0], workers=0) == sweep(
+            ["push"], [256], [0], workers=1
+        )
+
+    def test_sweep_reports_full_shape(self):
+        specs = [
+            RunSpec(algorithm="cluster2", n=1024, seed=s, failures=64)
+            for s in (0, 1)
+        ]
+        reports = sweep_reports(specs, workers=2)
+        assert [r.extras["seed"] for r in reports] == [0, 1]
+        for report in reports:
+            assert report.uninformed_survivors >= 0
+            assert report.metrics.rounds == report.rounds
+
+    def test_source_none_forwarded(self):
+        spec = RunSpec(algorithm="push", n=256, seed=3, source=None)
+        a, b = execute([spec, spec], workers=2)
+        assert a == b  # random source derives from the spec's seed
+
+
 class TestAggregate:
     def test_groups_by_algo_and_n(self):
         records = sweep(["push"], [256, 512], [0, 1, 2])
@@ -50,10 +118,12 @@ class TestAggregate:
         assert rows[0].success_rate == 1.0
 
     def test_series_extraction(self):
-        records = sweep(["push"], [256, 512, 1024], [0])
+        # several seeds: single-run round counts at adjacent small n are
+        # within each other's noise, mean spread is what grows with n
+        records = sweep(["push"], [256, 1024, 4096], [0, 1, 2, 3])
         rows = aggregate(records)
         ns, ys = series(rows, "push", "spread_rounds")
-        assert ns == [256, 512, 1024]
+        assert ns == [256, 1024, 4096]
         assert ys == sorted(ys)  # spread grows with n
 
     def test_series_missing_algo_empty(self):

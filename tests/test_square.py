@@ -7,7 +7,7 @@ from repro.core.constants import LAPTOP
 from repro.core.grow import grow_initial_clusters_v1, grow_initial_clusters_v2
 from repro.core.square import square_clusters_v1, square_clusters_v2
 
-from conftest import build_sim
+from helpers import build_sim
 
 
 def grown_v1(n, seed=0):

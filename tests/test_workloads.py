@@ -2,7 +2,15 @@
 
 import pytest
 
-from repro.workloads.scenarios import SCENARIOS, get_scenario, run_scenario
+from repro.workloads.scenarios import (
+    SCENARIOS,
+    Scenario,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    run_suite,
+    scenario_names,
+)
 
 
 class TestScenarioTable:
@@ -41,3 +49,61 @@ class TestScenarioRuns:
     def test_overrides_apply(self):
         report = run_scenario("low-latency-smalljob", seed=0, n=512)
         assert report.n == 512
+
+
+class TestRegistryValidation:
+    def test_unknown_algorithm_rejected_at_definition(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            Scenario(
+                name="bogus",
+                description="scenario with a typo'd algorithm",
+                n=256,
+                algorithm="clutser2",
+                message_bits=64,
+            )
+
+    def test_undeclared_knob_rejected(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            Scenario(
+                name="bogus",
+                description="cluster2 has no delta knob",
+                n=256,
+                algorithm="cluster2",
+                message_bits=64,
+                kwargs={"delta": 64},
+            )
+
+    def test_non_broadcast_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="not a broadcast algorithm"):
+            Scenario(
+                name="bogus",
+                description="discovery protocols are not scenarios",
+                n=256,
+                algorithm="name-dropper",
+                message_bits=64,
+            )
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(SCENARIOS["membership-update"])
+
+
+class TestSuite:
+    def test_runs_whole_catalogue_order(self):
+        results = run_suite(seeds=[0])
+        assert [cell.scenario for cell in results] == scenario_names()
+        for cell in results:
+            assert cell.record.informed_fraction > 0.9
+
+    def test_parallel_identical_to_serial(self):
+        names = ["low-latency-smalljob"]
+        serial = run_suite(names, seeds=[0, 1], workers=1)
+        parallel = run_suite(names, seeds=[0, 1], workers=2)
+        assert serial == parallel
+
+    def test_run_spec_round_trip(self):
+        sc = get_scenario("bounded-fanin-datacenter")
+        spec = sc.run_spec(seed=5)
+        assert spec.algorithm == "cluster3"
+        assert spec.kwargs == {"delta": 128}
+        assert spec.seed == 5
