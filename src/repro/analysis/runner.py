@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 from repro.analysis.stats import Summary, summarize
 from repro.core.broadcast import broadcast
 from repro.core.result import AlgorithmReport
+from repro.sim.dynamics import AdversitySchedule
 
 
 @dataclass(frozen=True)
@@ -29,6 +30,9 @@ class RunSpec:
     The unit of work the sweep executor ships to worker processes;
     scenario suites (:mod:`repro.workloads.scenarios`) compile to these
     too, so every grid in the library runs through one executor.
+    ``schedule`` (an :class:`~repro.sim.dynamics.AdversitySchedule`) is
+    itself a frozen, picklable spec, so dynamic-adversity jobs fan out
+    with the same bit-identical-for-any-worker-count guarantee.
     """
 
     algorithm: str
@@ -36,9 +40,10 @@ class RunSpec:
     seed: int
     source: Optional[int] = 0
     message_bits: int = 256
-    failures: int = 0
+    failures: float = 0
     failure_pattern: str = "random"
     check_model: bool = True
+    schedule: Optional[AdversitySchedule] = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def run(self) -> AlgorithmReport:
@@ -51,6 +56,7 @@ class RunSpec:
             message_bits=self.message_bits,
             failures=self.failures,
             failure_pattern=self.failure_pattern,
+            schedule=self.schedule,
             check_model=self.check_model,
             **self.kwargs,
         )
@@ -119,8 +125,9 @@ def run_once(
     *,
     source: Optional[int] = 0,
     message_bits: int = 256,
-    failures: int = 0,
+    failures: float = 0,
     failure_pattern: str = "random",
+    schedule: Optional[AdversitySchedule] = None,
     check_model: bool = True,
     **kwargs: Any,
 ) -> RunRecord:
@@ -134,6 +141,7 @@ def run_once(
             message_bits=message_bits,
             failures=failures,
             failure_pattern=failure_pattern,
+            schedule=schedule,
             check_model=check_model,
             kwargs=kwargs,
         )
@@ -147,8 +155,9 @@ def expand_grid(
     *,
     source: Optional[int] = 0,
     message_bits: int = 256,
-    failures: int = 0,
+    failures: float = 0,
     failure_pattern: str = "random",
+    schedule: Optional[AdversitySchedule] = None,
     check_model: bool = True,
     **kwargs: Any,
 ) -> List[RunSpec]:
@@ -163,6 +172,7 @@ def expand_grid(
             message_bits=message_bits,
             failures=failures,
             failure_pattern=failure_pattern,
+            schedule=schedule,
             check_model=check_model,
             kwargs=dict(kwargs),
         )
@@ -224,7 +234,8 @@ def sweep(
     seeds: Sequence[int],
     *,
     message_bits: int = 256,
-    failures: int = 0,
+    failures: float = 0,
+    schedule: Optional[AdversitySchedule] = None,
     check_model: bool = True,
     workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
@@ -238,6 +249,7 @@ def sweep(
         seeds,
         message_bits=message_bits,
         failures=failures,
+        schedule=schedule,
         check_model=check_model,
         **kwargs,
     )

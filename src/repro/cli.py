@@ -2,20 +2,24 @@
 
 Commands:
 
-* ``run`` — one broadcast with full phase breakdown;
+* ``run`` — one broadcast with full phase breakdown; ``--churn``,
+  ``--loss`` and ``--schedule`` add a dynamic-adversity timeline;
 * ``sweep`` — an algorithm x n x seed grid, rendered as a table
   (``--workers N`` fans the jobs out over N processes);
 * ``scenario`` — a named workload preset;
-* ``suite`` — a scenario x seed grid through the parallel executor;
+* ``suite`` — a scenario x seed grid through the parallel executor
+  (``--json PATH`` dumps the records for CI artifacts);
 * ``lower-bound`` — the Section 6 feasibility experiment;
-* ``list-algorithms`` / ``list-scenarios`` — the registry catalogues
-  (``list`` prints both).
+* ``list-algorithms`` / ``list-scenarios`` / ``list-schedules`` — the
+  registry catalogues (``list`` prints all three).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
 from typing import List, Optional
 
 from repro.analysis.runner import aggregate, sweep
@@ -23,12 +27,58 @@ from repro.analysis.tables import Table
 from repro.core.broadcast import broadcast
 from repro.core.lower_bound import min_feasible_rounds, theorem3_bound
 from repro.registry import algorithm_names, algorithm_specs
+from repro.sim.dynamics import (
+    SCHEDULES,
+    AdversitySchedule,
+    CrashTrickle,
+    MessageLoss,
+    resolve_schedule,
+    schedule_names,
+)
 from repro.workloads.scenarios import (
     SCENARIOS,
     run_scenario,
     run_suite,
     scenario_names,
 )
+
+
+def _schedule_from_args(args: argparse.Namespace) -> Optional[AdversitySchedule]:
+    """Compose ``--schedule`` / ``--churn`` / ``--loss`` into one timeline."""
+    events = []
+    base = resolve_schedule(getattr(args, "schedule", None))
+    if base is not None:
+        events.extend(base.events)
+    churn = getattr(args, "churn", None)
+    if churn:
+        events.append(CrashTrickle(rate=churn))
+    loss = getattr(args, "loss", None)
+    if loss:
+        events.append(MessageLoss(p=loss))
+    return AdversitySchedule(tuple(events)) if events else None
+
+
+def _add_dynamics_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--schedule",
+        default=None,
+        help="dynamic-adversity timeline: a preset name (see list-schedules) "
+        "or a spec string like 'loss:0.02,crash@5:0.1,blackout@8-12:64'",
+    )
+    parser.add_argument(
+        "--churn",
+        type=float,
+        default=None,
+        help="per-node per-round Bernoulli crash probability (adds a trickle "
+        "on top of --schedule)",
+    )
+    parser.add_argument(
+        "--loss",
+        type=float,
+        default=None,
+        help="i.i.d. per-message drop probability (adds a loss window on top "
+        "of --schedule)",
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -38,11 +88,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         seed=args.seed,
         message_bits=args.message_bits,
         failures=args.failures,
+        schedule=_schedule_from_args(args),
     )
     print(report)
     print()
     print(report.metrics.phase_report())
-    return 0 if report.informed_fraction > 0 else 1
+    if "schedule" in report.extras:
+        print()
+        print(f"adversity: {report.extras['schedule']}")
+        print(
+            f"  crashed={report.extras.get('dyn_crashed', 0)} "
+            f"revived={report.extras.get('dyn_revived', 0)} "
+            f"messages lost={report.extras.get('dyn_messages_lost', 0)}"
+        )
+    # Same exemption as `suite`: a run whose source crashed mid-broadcast
+    # legitimately informs nobody — that is the model, not a failure.
+    ok = report.informed_fraction > 0 or not report.extras.get("source_alive", True)
+    return 0 if ok else 1
 
 
 def _sweep_table(records) -> Table:
@@ -69,6 +131,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.ns,
         list(range(args.seeds)),
         message_bits=args.message_bits,
+        schedule=_schedule_from_args(args),
         workers=args.workers,
     )
     print(_sweep_table(records).render())
@@ -90,6 +153,14 @@ def _cmd_suite(args: argparse.Namespace) -> int:
         seeds=range(args.seeds),
         workers=args.workers,
     )
+    if args.json:
+        payload = [
+            {"scenario": cell.scenario, "record": asdict(cell.record)}
+            for cell in results
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        print(f"wrote {len(payload)} records to {args.json}")
     table = Table(
         title=f"scenario suite ({args.seeds} seed(s))",
         columns=["scenario", "algorithm", "n", "spread", "msgs/node", "maxΔ", "informed"],
@@ -108,7 +179,14 @@ def _cmd_suite(args: argparse.Namespace) -> int:
             f"{sum(r.informed_fraction for r in recs) / len(recs):.4f}",
         )
     print(table.render())
-    return 0 if all(cell.record.informed_fraction > 0 for cell in results) else 1
+    # A cell informs nobody legitimately when its source crashed mid-run
+    # (dynamic adversity); only a zero with a surviving source is a failure.
+    ok = all(
+        cell.record.informed_fraction > 0
+        or not cell.record.extras.get("source_alive", True)
+        for cell in results
+    )
+    return 0 if ok else 1
 
 
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
@@ -135,13 +213,25 @@ def _cmd_list_algorithms(args: argparse.Namespace) -> int:
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     print("scenarios:")
     for name in scenario_names():
-        print(f"  {name}: {SCENARIOS[name].description}")
+        sc = SCENARIOS[name]
+        dyn = f" [schedule: {sc.schedule.describe()}]" if sc.schedule else ""
+        print(f"  {name}: {sc.description}{dyn}")
+    return 0
+
+
+def _cmd_list_schedules(args: argparse.Namespace) -> int:
+    print("schedules:")
+    for name in schedule_names():
+        named = SCHEDULES[name]
+        print(f"  {name}: {named.description}")
+        print(f"    timeline: {named.schedule.describe()}")
     return 0
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
     _cmd_list_algorithms(args)
     _cmd_list_scenarios(args)
+    _cmd_list_schedules(args)
     return 0
 
 
@@ -158,6 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--message-bits", type=int, default=256)
     p_run.add_argument("--failures", type=int, default=0)
+    _add_dynamics_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="algorithm x n x seed grid")
@@ -172,6 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (1 = serial, 0 = one per core); records are "
         "bit-identical for every value",
     )
+    _add_dynamics_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_sc = sub.add_parser("scenario", help="run a named workload")
@@ -185,6 +277,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_suite.add_argument("--seeds", type=int, default=1)
     p_suite.add_argument("--workers", type=int, default=1)
+    p_suite.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also dump every suite record as JSON (CI artifacts)",
+    )
     p_suite.set_defaults(func=_cmd_suite)
 
     p_lb = sub.add_parser("lower-bound", help="Theorem 3 feasibility experiment")
@@ -198,7 +296,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_ls = sub.add_parser("list-scenarios", help="the scenario catalogue")
     p_ls.set_defaults(func=_cmd_list_scenarios)
 
-    p_list = sub.add_parser("list", help="list algorithms and scenarios")
+    p_lsc = sub.add_parser("list-schedules", help="the adversity-schedule catalogue")
+    p_lsc.set_defaults(func=_cmd_list_schedules)
+
+    p_list = sub.add_parser("list", help="list algorithms, scenarios and schedules")
     p_list.set_defaults(func=_cmd_list)
     return parser
 

@@ -19,6 +19,7 @@ from typing import Optional
 from repro.core.constants import LAPTOP, Profile, get_profile
 from repro.core.result import AlgorithmReport
 from repro.registry import algorithm_names, get_algorithm
+from repro.sim.dynamics import AdversitySchedule, resolve_schedule
 from repro.sim.engine import Simulator
 from repro.sim.failures import apply_pattern
 from repro.sim.metrics import Metrics
@@ -39,8 +40,9 @@ def broadcast(
     seed: int = 0,
     source: Optional[int] = 0,
     message_bits: int = 256,
-    failures: int = 0,
+    failures: float = 0,
     failure_pattern: str = "random",
+    schedule: "AdversitySchedule | str | None" = None,
     profile: "Profile | str" = LAPTOP,
     trace: Optional[Trace] = None,
     check_model: bool = True,
@@ -67,9 +69,17 @@ def broadcast(
         ``b = Omega(log n)``).
     failures:
         Number of nodes an oblivious adversary fails before the start
-        (Section 8).
+        (Section 8); with ``failure_pattern="fraction"`` it is instead the
+        fraction in [0, 1) of nodes to fail.
     failure_pattern:
-        ``"random"``, ``"prefix"`` or ``"smallest-uids"``.
+        ``"random"``, ``"prefix"``, ``"smallest-uids"`` or ``"fraction"``.
+    schedule:
+        Optional dynamic-adversity timeline
+        (:class:`repro.sim.dynamics.AdversitySchedule`, a preset name, or
+        a ``parse_schedule`` spec string): mid-run crashes, revivals,
+        blackouts and message loss applied at round boundaries.  ``None``
+        or an empty schedule leaves the engine on the untouched static
+        path (bit-identical output for a fixed seed).
     profile:
         Constant-resolution profile or its name.
     check_model:
@@ -91,13 +101,29 @@ def broadcast(
     if source is None:
         alive = net.alive_indices()
         source = int(alive[make_rng(derive_seed(seed, "source")).integers(len(alive))])
+    resolved = resolve_schedule(schedule)
+    dynamics = (
+        resolved.bind(net, make_rng(derive_seed(seed, "dynamics")))
+        if resolved is not None
+        else None
+    )
     sim = Simulator(
         net,
         make_rng(derive_seed(seed, "algo")),
         Metrics(n),
         check_model=check_model,
+        dynamics=dynamics,
     )
     report = spec.run(sim, source, profile, trace, **algorithm_kwargs)
     report.extras.setdefault("seed", seed)
     report.extras.setdefault("failures", failures)
+    report.extras.setdefault("source", int(source))
+    # Whether the initial rumor holder survived the run: under a dynamics
+    # timeline it may crash mid-broadcast, and an execution whose only
+    # copy of the rumor died is a model outcome, not a harness failure.
+    report.extras.setdefault("source_alive", bool(net.alive[source]))
+    if dynamics is not None:
+        report.extras.setdefault("schedule", resolved.describe())
+        for key, value in dynamics.summary().items():
+            report.extras.setdefault(key, value)
     return report

@@ -36,12 +36,61 @@ class Clustering:
     """Mutable clustering over a :class:`~repro.sim.network.Network`.
 
     Dead nodes are permanently unclustered; every accessor filters them.
+
+    Under the static Section 8 adversary liveness never changes mid-run.
+    Under a dynamics timeline (:mod:`repro.sim.dynamics`) it can: a
+    leader may crash with followers still pointing at it.  The clustering
+    watches the network's liveness *epoch* and lazily reconciles on
+    change — members whose leader is dead drop back to unclustered (their
+    super-node is gone; the pull/catch-up phases treat them like any
+    other unclustered node).  The epoch check is O(1), so the static
+    path pays one integer compare per accessor.
     """
 
     def __init__(self, net: Network) -> None:
         self.net = net
         self.follow = np.full(net.n, UNCLUSTERED, dtype=np.int64)
         self.active = np.zeros(net.n, dtype=bool)
+        self._synced_epoch = net.liveness_epoch
+        self._construction_epoch = net.liveness_epoch
+        #: Sticky: liveness changed after construction (a dynamics run).
+        self._dynamic = False
+
+    @property
+    def liveness_changed(self) -> bool:
+        """True once liveness has moved since this clustering was built —
+        i.e. a dynamics timeline is rewriting the world mid-run and stale
+        cluster information (IDs learned before a crash) is expected."""
+        return self._dynamic or self.net.liveness_epoch != self._construction_epoch
+
+    def _sync(self, force: bool = False) -> None:
+        """Reconcile with liveness changes since the last accessor call.
+
+        Iterates because unclustering an orphan can strand nodes deeper in
+        a transient follow chain; chains are short (see :meth:`compress`).
+        ``force`` re-reconciles even on an unchanged epoch: in a dynamic
+        run an algorithm may follow a node using stale in-flight data
+        (e.g. a cluster invite sent before the inviter's cluster
+        dissolved), creating new stale pointers with no epoch bump.
+        """
+        epoch = self.net.liveness_epoch
+        if epoch == self._synced_epoch and not (force and self._dynamic):
+            return
+        self._dynamic = self._dynamic or epoch != self._synced_epoch
+        alive = self.net.alive
+        for _ in range(64):
+            clustered = np.flatnonzero(self.follow != UNCLUSTERED)
+            if not len(clustered):
+                break
+            parents = self.follow[clustered]
+            stranded = ~alive[parents] | (
+                (self.follow[parents] == UNCLUSTERED) & (parents != clustered)
+            )
+            if not stranded.any():
+                break
+            self.follow[clustered[stranded]] = UNCLUSTERED
+        self.active[~alive] = False
+        self._synced_epoch = epoch
 
     # ------------------------------------------------------------------
     # Masks and views
@@ -53,14 +102,17 @@ class Clustering:
 
     def clustered_mask(self) -> np.ndarray:
         """Alive nodes that belong to some cluster."""
+        self._sync()
         return (self.follow != UNCLUSTERED) & self.net.alive
 
     def unclustered_mask(self) -> np.ndarray:
         """Alive nodes with follow == ∞."""
+        self._sync()
         return (self.follow == UNCLUSTERED) & self.net.alive
 
     def leader_mask(self) -> np.ndarray:
         """Alive nodes that lead their own cluster."""
+        self._sync()
         return (self.follow == np.arange(self.n)) & self.net.alive
 
     def follower_mask(self) -> np.ndarray:
@@ -100,6 +152,7 @@ class Clustering:
 
     def members_of(self, leader: int) -> np.ndarray:
         """Indices of the cluster led by ``leader`` (leader included)."""
+        self._sync()
         return np.flatnonzero((self.follow == leader) & self.net.alive)
 
     def active_member_mask(self) -> np.ndarray:
@@ -135,6 +188,7 @@ class Clustering:
         inactive→active), so chains resolve in a few hops; a cycle would be
         an algorithm bug and raises after ``max_hops``.
         """
+        self._sync(force=True)
         clustered = np.flatnonzero((self.follow != UNCLUSTERED) & self.net.alive)
         for _ in range(max_hops):
             parents = self.follow[clustered]
@@ -155,6 +209,7 @@ class Clustering:
 
     def check_invariants(self) -> None:
         """Raise AssertionError if the clustering is inconsistent."""
+        self._sync(force=True)
         alive = self.net.alive
         clustered = (self.follow != UNCLUSTERED) & alive
         idx = np.flatnonzero(clustered)

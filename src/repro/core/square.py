@@ -62,10 +62,16 @@ def _recruit_inactive(
     new_leader = np.where(cl.active, NOTHING, outcome.leader_receipt)
     # Guard against an inactive cluster "merging" into another inactive
     # cluster: receipts can only carry active-cluster IDs (only active
-    # clusters pushed), so this is just an assertion of that fact.
-    targets = new_leader[new_leader != NOTHING]
-    if len(targets) and not cl.active[targets].all():
-        raise RuntimeError("merge target is not an active cluster")
+    # clusters pushed), so statically this is just an assertion of that
+    # fact.  Under a dynamics timeline a recruiter can crash *after*
+    # pushing its ID — such receipts are stale, and the receiver simply
+    # drops them (the merge offer expired with the cluster).
+    held = new_leader != NOTHING
+    if held.any() and not cl.active[new_leader[held]].all():
+        if not cl.liveness_changed:
+            raise RuntimeError("merge target is not an active cluster")
+        stale = np.flatnonzero(held)[~cl.active[new_leader[held]]]
+        new_leader[stale] = NOTHING
     return cluster_merge(sim, cl, new_leader)
 
 

@@ -13,7 +13,10 @@ This subpackage implements the communication model of Haeupler & Malkhi
   round-, message-, and bit-complexity, plus the per-round fan-in ``Delta``
   studied in Section 7 (:mod:`repro.sim.metrics`);
 * oblivious node failures for the fault-tolerance experiments of Section 8
-  (:mod:`repro.sim.failures`).
+  (:mod:`repro.sim.failures`);
+* dynamic adversity beyond the paper's static model — per-round churn,
+  message loss, blackout windows and revivals, driven through the round
+  engine by declarative, picklable schedules (:mod:`repro.sim.dynamics`).
 
 All hot paths are vectorised over numpy arrays of node indices so that the
 simulator comfortably handles ``n`` up to a few hundred thousand nodes.
@@ -25,6 +28,16 @@ from repro.sim.delivery import (
     receive_min_by_key,
     receive_or,
 )
+from repro.sim.dynamics import (
+    AdversitySchedule,
+    Blackout,
+    CrashAt,
+    CrashTrickle,
+    MessageLoss,
+    ReviveAt,
+    parse_schedule,
+    resolve_schedule,
+)
 from repro.sim.engine import ModelViolation, Round, Simulator
 from repro.sim.ids import IdSpace
 from repro.sim.messages import MessageSizes
@@ -33,18 +46,26 @@ from repro.sim.network import Network
 from repro.sim.rng import make_rng, spawn_rngs
 
 __all__ = [
+    "AdversitySchedule",
+    "Blackout",
+    "CrashAt",
+    "CrashTrickle",
     "IdSpace",
+    "MessageLoss",
     "MessageSizes",
     "Metrics",
     "ModelViolation",
     "Network",
     "PhaseStats",
+    "ReviveAt",
     "Round",
     "Simulator",
     "make_rng",
+    "parse_schedule",
     "receive_any",
     "receive_counts",
     "receive_min_by_key",
     "receive_or",
+    "resolve_schedule",
     "spawn_rngs",
 ]

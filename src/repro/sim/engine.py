@@ -14,6 +14,19 @@ engine
   are messages with their payload bits; fan-in per node is pushes received
   plus pull requests received.
 
+A :class:`Simulator` may carry a dynamics driver
+(:mod:`repro.sim.dynamics`): the timeline advances at round *boundaries*
+— events for round ``t`` fire when round ``t-1`` commits (round 0's at
+simulator construction) — so liveness is stable for the whole window in
+which an algorithm plans and declares round ``t``'s operations.  A node
+crashed at round ``t`` therefore neither initiates, responds, nor soaks
+up fan-in at any round ``>= t``.  While a loss window is active each bulk
+op draws a single vectorised survival mask (lost pushes are charged but
+not delivered; lost pull requests reach nobody, so they are charged
+neither as fan-in nor as a response).  Without a driver no mask is drawn
+and no extra RNG state is consumed: the zero-adversity path is the
+unchanged static engine.
+
 Direct addressing is the caller's business: the engine takes explicit
 target indices and does not second-guess how the caller learned them.  The
 knowledge-tracking needed for the Section 6 lower bound lives separately in
@@ -23,12 +36,15 @@ knowledge-tracking needed for the Section 6 lower bound lives separately in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
 from repro.sim.metrics import Metrics
 from repro.sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.dynamics import DynamicsDriver
 
 
 class ModelViolation(RuntimeError):
@@ -40,6 +56,7 @@ class _PushOp:
     srcs: np.ndarray
     dsts: np.ndarray
     bits_per_msg: np.ndarray  # parallel to srcs
+    arrived: np.ndarray  # bool per push: reached an alive target (fan-in)
     counts_initiation: bool = True
 
 
@@ -48,7 +65,8 @@ class _PullOp:
     srcs: np.ndarray
     dsts: np.ndarray
     bits_per_response: np.ndarray  # parallel to srcs
-    responds: np.ndarray  # bool per pull: responder has content to answer
+    responds: np.ndarray  # bool per pull: a response was sent (charged)
+    arrived: np.ndarray  # bool per pull: request reached an alive target (fan-in)
     counts_initiation: bool = True
 
 
@@ -91,6 +109,23 @@ class Round:
     # Declaring operations
     # ------------------------------------------------------------------
 
+    def _arrival_mask(self, dsts: np.ndarray) -> np.ndarray:
+        """Per-message mask of targets that exist and are alive.
+
+        On the static path every declared target is a valid index and the
+        mask is just the alive table.  Under a dynamics timeline a caller
+        may address a *stale* target (e.g. a follow pointer reconciled to
+        ``UNCLUSTERED`` after a mid-run crash): such messages go into the
+        void — charged as sent, delivered nowhere.
+        """
+        net = self._sim.net
+        if self._sim.dynamics is None:
+            return net.alive[dsts]
+        valid = (dsts >= 0) & (dsts < net.n)
+        if valid.all():
+            return net.alive[dsts]
+        return valid & net.alive[np.where(valid, dsts, 0)]
+
     def push(
         self,
         srcs: np.ndarray,
@@ -110,7 +145,8 @@ class Round:
 
         Returns the sub-arrays that are actually *delivered*: pushes by dead
         sources are dropped entirely (a dead node does nothing); pushes to
-        dead targets are sent (and charged) but not delivered.
+        dead targets — and pushes lost to an active message-loss window —
+        are sent (and charged) but not delivered.
         """
         srcs = np.asarray(srcs, dtype=np.int64)
         dsts = np.asarray(dsts, dtype=np.int64)
@@ -119,8 +155,16 @@ class Round:
         bits = _as_bits_array(bits_per_msg, len(srcs))
         alive_src = self._sim.net.alive[srcs]
         srcs, dsts, bits = srcs[alive_src], dsts[alive_src], bits[alive_src]
-        self._pushes.append(_PushOp(srcs, dsts, bits, counts_initiation))
-        delivered = self._sim.net.alive[dsts]
+        delivered = self._arrival_mask(dsts)
+        dyn = self._sim.dynamics
+        if dyn is not None:
+            keep = dyn.push_survival(len(dsts))
+            if keep is not None:
+                # Only messages that were actually in transit to a live
+                # target count as "lost" (a drop to a dead node is moot).
+                dyn.messages_lost += int((delivered & ~keep).sum())
+                delivered &= keep
+        self._pushes.append(_PushOp(srcs, dsts, bits, delivered, counts_initiation))
         return PushDelivery(srcs[delivered], dsts[delivered])
 
     def pull(
@@ -141,11 +185,14 @@ class Round:
         *responder* and passes the per-pull mask here.  Pulls by dead
         sources are dropped; pulls to dead or non-responding targets get no
         answer (but the request still counts toward the target's fan-in if
-        it is alive).
+        it is alive).  Under an active message-loss window, a request lost
+        in transit reaches nobody (no fan-in, no charged response), and a
+        sent response lost on the way back is charged but not delivered.
 
-        Note: the returned ``answered`` mask is parallel to the *filtered*
-        (alive-source) pulls; callers that pre-filter their sources to alive
-        nodes — all shipped algorithms do — can zip it with their inputs.
+        Note: the returned ``answered`` mask is parallel to the pulls *as
+        declared* (a dead-source pull is simply never answered), so callers
+        can always zip it with their input arrays — whether or not their
+        pre-filtering is up to date with a dynamics timeline's crashes.
         """
         srcs = np.asarray(srcs, dtype=np.int64)
         dsts = np.asarray(dsts, dtype=np.int64)
@@ -158,14 +205,33 @@ class Round:
         if responds.shape != srcs.shape:
             raise ValueError("responds must be parallel to srcs")
         alive_src = self._sim.net.alive[srcs]
-        srcs, dsts, responds, bits = (
-            srcs[alive_src],
-            dsts[alive_src],
-            responds[alive_src],
-            bits[alive_src],
-        )
-        answered = responds & self._sim.net.alive[dsts]
-        self._pulls.append(_PullOp(srcs, dsts, bits, answered, counts_initiation))
+        all_sources_alive = bool(alive_src.all())
+        if not all_sources_alive:
+            declared_count = len(srcs)
+            srcs, dsts, responds, bits = (
+                srcs[alive_src],
+                dsts[alive_src],
+                responds[alive_src],
+                bits[alive_src],
+            )
+        arrived = self._arrival_mask(dsts)
+        dyn = self._sim.dynamics
+        masks = dyn.pull_survival(len(dsts)) if dyn is not None else None
+        if masks is None:
+            sent = responds & arrived
+            answered = sent
+        else:
+            request_arrived, round_trip_ok = masks
+            dyn.messages_lost += int((arrived & ~request_arrived).sum())
+            arrived &= request_arrived
+            sent = responds & arrived  # responses actually transmitted (charged)
+            answered = sent & round_trip_ok  # ... and delivered back
+            dyn.messages_lost += int((sent & ~answered).sum())
+        self._pulls.append(_PullOp(srcs, dsts, bits, sent, arrived, counts_initiation))
+        if not all_sources_alive:
+            full = np.zeros(declared_count, dtype=bool)
+            full[alive_src] = answered
+            answered = full
         return PullDelivery(answered)
 
     # ------------------------------------------------------------------
@@ -199,8 +265,9 @@ class Round:
                 )
 
         # Fan-in: pushes received + pull requests received, at alive nodes.
-        # All ops' destinations concatenate into one array so one bincount
-        # covers the whole round (the per-op loop was the commit hot spot).
+        # Arrival was decided per op at declare time (alive targets, minus
+        # any message-loss mask); the surviving destinations concatenate
+        # into one array so one bincount covers the whole round.
         pushes = push_bits = 0
         for op in self._pushes:
             pushes += len(op.srcs)
@@ -212,11 +279,12 @@ class Round:
             pull_responses += answered
             pull_bits += int(op.bits_per_response[op.responds].sum())
 
-        all_dsts = [op.dsts for op in self._pushes] + [op.dsts for op in self._pulls]
+        all_arrived = [op.dsts[op.arrived] for op in self._pushes] + [
+            op.dsts[op.arrived] for op in self._pulls
+        ]
         max_fanin = 0
-        if all_dsts:
-            dsts = np.concatenate(all_dsts)
-            arrived = dsts[sim.net.alive[dsts]]
+        if all_arrived:
+            arrived = np.concatenate(all_arrived)
             if len(arrived):
                 max_fanin = int(np.bincount(arrived, minlength=n).max())
 
@@ -229,6 +297,11 @@ class Round:
             max_fanin=max_fanin,
             max_initiations=int(init_counts.max()) if len(all_init) else 0,
         )
+        # Round boundary: fire the dynamics timeline's events for the next
+        # round now, so every computation an algorithm does between this
+        # commit and the next one sees a consistent liveness table.
+        if sim.dynamics is not None:
+            sim.dynamics.begin_round(sim.metrics.rounds)
 
     def __enter__(self) -> "Round":
         return self
@@ -253,6 +326,12 @@ class Simulator:
         When True (default), committing a round with a node initiating two
         contacts raises :class:`ModelViolation`.  Benchmarks may switch it
         off for speed once the test suite has pinned correctness.
+    dynamics:
+        Optional :class:`~repro.sim.dynamics.DynamicsDriver` — a bound
+        adversity timeline.  Round ``t``'s events fire when round ``t-1``
+        commits (round 0's immediately, here), and bulk ops consult the
+        driver for message-loss masks.  ``None`` (default) keeps the
+        engine on the untouched static path.
     """
 
     def __init__(
@@ -261,11 +340,15 @@ class Simulator:
         rng: np.random.Generator,
         metrics: Optional[Metrics] = None,
         check_model: bool = True,
+        dynamics: "Optional[DynamicsDriver]" = None,
     ) -> None:
         self.net = net
         self.rng = rng
         self.metrics = metrics if metrics is not None else Metrics(net.n)
         self.check_model = check_model
+        self.dynamics = dynamics
+        if dynamics is not None:
+            dynamics.begin_round(self.metrics.rounds)
 
     def round(self, label: Optional[str] = None) -> Round:
         """Open a new synchronous round."""

@@ -50,15 +50,46 @@ def fail_fraction(net: Network, fraction: float, rng: SeedLike = None) -> np.nda
     return fail_random(net, int(round(fraction * net.n)), rng)
 
 
+def _prefix_pattern(net: Network, count: int, rng: SeedLike = None) -> np.ndarray:
+    """Named-pattern wrapper for :func:`fail_prefix`.
+
+    The prefix choice is deterministic; ``rng`` is accepted (every pattern
+    shares the ``(net, count, rng)`` signature) and explicitly unused.
+    """
+    del rng  # deterministic pattern: the rng is deliberately ignored
+    return fail_prefix(net, count)
+
+
+def _smallest_uids_pattern(net: Network, count: int, rng: SeedLike = None) -> np.ndarray:
+    """Named-pattern wrapper for :func:`fail_smallest_uids`.
+
+    Deterministic given the network's uid assignment; ``rng`` is accepted
+    for signature uniformity and explicitly unused.
+    """
+    del rng  # deterministic pattern: the rng is deliberately ignored
+    return fail_smallest_uids(net, count)
+
+
+def _fraction_pattern(net: Network, count: float, rng: SeedLike = None) -> np.ndarray:
+    """Named-pattern wrapper for :func:`fail_fraction`: ``count`` is the
+    fraction in [0, 1) of all nodes to fail uniformly at random."""
+    return fail_fraction(net, count, rng)
+
+
 PATTERNS = {
     "random": fail_random,
-    "prefix": lambda net, count, rng=None: fail_prefix(net, count),
-    "smallest-uids": lambda net, count, rng=None: fail_smallest_uids(net, count),
+    "prefix": _prefix_pattern,
+    "smallest-uids": _smallest_uids_pattern,
+    "fraction": _fraction_pattern,
 }
 
 
-def apply_pattern(net: Network, pattern: str, count: int, rng: SeedLike = None) -> np.ndarray:
-    """Apply a named failure pattern; returns failed indices."""
+def apply_pattern(net: Network, pattern: str, count: float, rng: SeedLike = None) -> np.ndarray:
+    """Apply a named failure pattern; returns failed indices.
+
+    ``count`` is a node count for every pattern except ``"fraction"``,
+    where it is the fraction in [0, 1) of all nodes to fail.
+    """
     try:
         fn = PATTERNS[pattern]
     except KeyError:

@@ -1,9 +1,18 @@
 """The complete network of the random phone call model.
 
 Holds the node table: dense indices ``0..n-1``, the random unique ``uid`` of
-each node (its O(log n)-bit address), and liveness for the fault-tolerance
-setting of Section 8 (an oblivious adversary fails nodes *before* the
-execution starts; failed nodes neither initiate nor respond).
+each node (its O(log n)-bit address), and liveness.  Liveness covers both
+the fault-tolerance setting of Section 8 (an oblivious adversary fails
+nodes *before* the execution starts; failed nodes neither initiate nor
+respond) and the dynamic-adversity extension of :mod:`repro.sim.dynamics`
+(mid-run crashes, blackouts, and revivals, applied at round boundaries).
+
+Liveness changes bump a monotone *epoch* counter, so hot paths that need
+the alive-index set can cache it per epoch instead of rescanning the
+boolean table every call — :meth:`Network.alive_indices` does exactly
+that.  All liveness mutations must go through :meth:`Network.fail` /
+:meth:`Network.revive`; writing ``net.alive`` directly would bypass the
+epoch and serve stale caches.
 """
 
 from __future__ import annotations
@@ -50,16 +59,33 @@ class Network:
         self.sizes = MessageSizes(
             self.n, rumor_bits=rumor_bits, id_space_exponent=id_space_exponent
         )
+        self._liveness_epoch = 0
+        self._alive_cache_epoch = -1
+        self._alive_cache: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Liveness / failures
     # ------------------------------------------------------------------
 
-    def fail(self, indices: Iterable[int]) -> None:
-        """Fail the given nodes (oblivious adversary, Section 8).
+    @property
+    def liveness_epoch(self) -> int:
+        """Monotone counter bumped by every liveness change.
 
-        Must be called before the algorithm starts to keep the adversary
-        oblivious; the engine does not enforce this (tests do).
+        Consumers holding per-liveness-state caches (alive index sets,
+        partitions over alive nodes, ...) compare against it to know when
+        to rebuild; with the static Section 8 adversary it never moves
+        after setup, so those caches live for the whole execution.
+        """
+        return self._liveness_epoch
+
+    def fail(self, indices: Iterable[int]) -> None:
+        """Fail the given nodes.
+
+        In the paper's static Section 8 setting this is called before the
+        algorithm starts to keep the adversary oblivious; the engine does
+        not enforce that (tests do).  The dynamics subsystem
+        (:mod:`repro.sim.dynamics`) additionally calls it at round
+        boundaries for mid-run crashes and blackout windows.
         """
         idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
         if idx.size == 0:
@@ -67,6 +93,21 @@ class Network:
         if idx.min() < 0 or idx.max() >= self.n:
             raise IndexError("failure index out of range")
         self.alive[idx] = False
+        self._liveness_epoch += 1
+
+    def revive(self, indices: Iterable[int]) -> None:
+        """Bring the given nodes back (blackout end, churn re-join).
+
+        Revived nodes initiate, respond and receive again from the next
+        round on; what they *know* is the algorithm's business.
+        """
+        idx = np.asarray(list(indices) if not isinstance(indices, np.ndarray) else indices)
+        if idx.size == 0:
+            return
+        if idx.min() < 0 or idx.max() >= self.n:
+            raise IndexError("revival index out of range")
+        self.alive[idx] = True
+        self._liveness_epoch += 1
 
     @property
     def alive_count(self) -> int:
@@ -74,8 +115,15 @@ class Network:
         return int(self.alive.sum())
 
     def alive_indices(self) -> np.ndarray:
-        """Indices of surviving nodes."""
-        return np.flatnonzero(self.alive)
+        """Indices of surviving nodes (cached per liveness epoch).
+
+        The returned array is shared with the cache — treat it as
+        read-only, like ``alive`` itself.
+        """
+        if self._alive_cache_epoch != self._liveness_epoch:
+            self._alive_cache = np.flatnonzero(self.alive)
+            self._alive_cache_epoch = self._liveness_epoch
+        return self._alive_cache
 
     def filter_alive(self, indices: np.ndarray) -> np.ndarray:
         """Subset of ``indices`` that are alive."""

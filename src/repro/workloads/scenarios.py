@@ -24,6 +24,7 @@ from repro.analysis.runner import RunRecord, RunSpec, execute
 from repro.core.broadcast import broadcast
 from repro.core.result import AlgorithmReport
 from repro.registry import get_algorithm
+from repro.sim.dynamics import AdversitySchedule, resolve_schedule
 
 
 @dataclass(frozen=True)
@@ -32,7 +33,10 @@ class Scenario:
 
     Validated against the algorithm registry on construction: the
     algorithm must be a registered broadcastable name and every extra
-    keyword must be one of its declared knobs.
+    keyword must be one of its declared knobs.  ``schedule`` (a dynamic
+    adversity timeline — an :class:`~repro.sim.dynamics.AdversitySchedule`,
+    a preset name, or a spec string) is resolved at definition time, so a
+    typo'd schedule also fails immediately.
     """
 
     name: str
@@ -40,8 +44,9 @@ class Scenario:
     n: int
     algorithm: str
     message_bits: int
-    failures: int = 0
+    failures: float = 0
     failure_pattern: str = "random"
+    schedule: "AdversitySchedule | str | None" = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -57,6 +62,8 @@ class Scenario:
                 f"scenario {self.name!r}: {self.algorithm!r} does not accept "
                 f"{sorted(unknown)}; declared knobs are {sorted(spec.kwargs)}"
             )
+        # Normalise preset names / spec strings to a frozen schedule.
+        object.__setattr__(self, "schedule", resolve_schedule(self.schedule))
 
     def run_spec(self, seed: int = 0) -> RunSpec:
         """Compile to one executor job."""
@@ -67,6 +74,7 @@ class Scenario:
             message_bits=self.message_bits,
             failures=self.failures,
             failure_pattern=self.failure_pattern,
+            schedule=self.schedule,
             kwargs=dict(self.kwargs),
         )
 
@@ -78,6 +86,7 @@ class Scenario:
             message_bits=self.message_bits,
             failures=self.failures,
             failure_pattern=self.failure_pattern,
+            schedule=self.schedule,
             seed=seed,
         )
         args.update(self.kwargs)
@@ -149,6 +158,76 @@ for _scenario in [
         n=2**10,
         algorithm="cluster1",
         message_bits=256,
+    ),
+    # ------------------------------------------------------------------
+    # Dynamic-adversity presets (repro.sim.dynamics): churn, loss and
+    # fault timelines driven through the round engine mid-execution.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="churn-light",
+        description=(
+            "Gentle per-round Bernoulli churn (0.05%/node/round) under "
+            "PUSH-PULL — baseline robustness of plain gossip."
+        ),
+        n=2**11,
+        algorithm="push-pull",
+        message_bits=256,
+        schedule="churn-light",
+    ),
+    Scenario(
+        name="churn-heavy",
+        description=(
+            "Hard churn: a 0.4% Bernoulli trickle plus a 5% crash burst "
+            "at round 4; PUSH-PULL must out-spread the failures."
+        ),
+        n=2**11,
+        algorithm="push-pull",
+        message_bits=256,
+        schedule="churn-heavy",
+    ),
+    Scenario(
+        name="lossy-datacenter",
+        description=(
+            "A congested fabric drops 2% of messages i.i.d.; the PULL "
+            "tail keeps retrying until everyone is informed."
+        ),
+        n=2**11,
+        algorithm="push-pull",
+        message_bits=512,
+        schedule="lossy-datacenter",
+    ),
+    Scenario(
+        name="blackout-partition",
+        description=(
+            "A quarter of the nodes are unreachable during rounds 3-8 "
+            "(rack blackout) and must catch up after reconnecting."
+        ),
+        n=2**11,
+        algorithm="push-pull",
+        message_bits=256,
+        schedule="blackout-partition",
+    ),
+    Scenario(
+        name="failure-storm-dynamic",
+        description=(
+            "The failure-storm preset made dynamic: 10% of the nodes "
+            "crash at round 3 — mid-run — instead of before the start."
+        ),
+        n=2**12,
+        algorithm="cluster2",
+        message_bits=512,
+        schedule="crash-burst",
+    ),
+    Scenario(
+        name="membership-update-flaky",
+        description=(
+            "The membership-update preset on a flaky network: 20% "
+            "message loss during Cluster2's first 6 rounds."
+        ),
+        n=2**12,
+        algorithm="cluster2",
+        message_bits=512,
+        schedule="flaky-start",
     ),
 ]:
     register_scenario(_scenario)

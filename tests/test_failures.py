@@ -58,6 +58,27 @@ class TestApplyPattern:
         assert len(failed) == 4
         assert not net.alive[failed].any()
 
+    def test_fraction_pattern_registered(self):
+        net = Network(40, rng=0)
+        failed = apply_pattern(net, "fraction", 0.25, rng=0)
+        assert len(failed) == 10
+        assert net.alive_count == 30
+
+    def test_fraction_pattern_bounds(self):
+        net = Network(10, rng=0)
+        with pytest.raises(ValueError, match="fraction"):
+            apply_pattern(net, "fraction", 1.5)
+
+    @pytest.mark.parametrize("pattern", ["prefix", "smallest-uids"])
+    def test_deterministic_patterns_ignore_rng(self, pattern):
+        # The wrappers accept rng for signature uniformity but must not
+        # let it influence the (deterministic) choice.
+        failed = [
+            apply_pattern(Network(40, rng=0), pattern, 4, rng=rng).tolist()
+            for rng in (None, 0, 12345)
+        ]
+        assert failed[0] == failed[1] == failed[2]
+
     def test_unknown_pattern(self):
         net = Network(10, rng=0)
         with pytest.raises(ValueError, match="unknown failure pattern"):
