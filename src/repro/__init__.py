@@ -22,7 +22,12 @@ Layout:
 * :mod:`repro.workloads` — named scenario presets.
 """
 
-from repro.core.broadcast import BroadcastResult, broadcast
+from repro.core.broadcast import (
+    BroadcastResult,
+    ReplicationEngine,
+    broadcast,
+    run_replications,
+)
 from repro.core.clustering import UNCLUSTERED, Clustering
 from repro.core.constants import LAPTOP, PAPER, Profile, get_profile
 from repro.core.result import AlgorithmReport
@@ -33,16 +38,17 @@ from repro.registry import (
     get_algorithm,
     register_algorithm,
 )
-from repro.sim.engine import ModelViolation, Simulator
+from repro.sim.engine import BufferPool, ModelViolation, Simulator
 from repro.sim.metrics import Metrics
 from repro.sim.network import Network
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AlgorithmReport",
     "AlgorithmSpec",
     "BroadcastResult",
+    "BufferPool",
     "Clustering",
     "LAPTOP",
     "Metrics",
@@ -50,6 +56,7 @@ __all__ = [
     "Network",
     "PAPER",
     "Profile",
+    "ReplicationEngine",
     "Simulator",
     "UNCLUSTERED",
     "algorithm_names",
@@ -58,5 +65,6 @@ __all__ = [
     "get_algorithm",
     "get_profile",
     "register_algorithm",
+    "run_replications",
     "__version__",
 ]

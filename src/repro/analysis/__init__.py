@@ -9,14 +9,23 @@
 * :mod:`repro.analysis.tables` — ASCII tables written to ``results/``.
 """
 
-from repro.analysis.runner import RunRecord, aggregate, sweep
-from repro.analysis.stats import Summary, mean_ci, summarize
+from repro.analysis.runner import RunRecord, aggregate, replication_sweep, sweep
+from repro.analysis.stats import (
+    ReplicationSummary,
+    StreamingSummary,
+    Summary,
+    mean_ci,
+    summarize,
+    wilson_interval,
+)
 from repro.analysis.tables import Table, render_table
 from repro.analysis.theory import FitResult, best_growth_class, fit_growth
 
 __all__ = [
     "FitResult",
+    "ReplicationSummary",
     "RunRecord",
+    "StreamingSummary",
     "Summary",
     "Table",
     "aggregate",
@@ -24,6 +33,8 @@ __all__ = [
     "fit_growth",
     "mean_ci",
     "render_table",
+    "replication_sweep",
     "summarize",
     "sweep",
+    "wilson_interval",
 ]

@@ -17,8 +17,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
-from repro.analysis.stats import Summary, summarize
-from repro.core.broadcast import broadcast
+from repro.analysis.stats import ReplicationSummary, Summary, summarize
+from repro.core.broadcast import broadcast, run_replications
 from repro.core.result import AlgorithmReport
 from repro.sim.dynamics import AdversitySchedule
 
@@ -33,6 +33,13 @@ class RunSpec:
     ``schedule`` (an :class:`~repro.sim.dynamics.AdversitySchedule`) is
     itself a frozen, picklable spec, so dynamic-adversity jobs fan out
     with the same bit-identical-for-any-worker-count guarantee.
+
+    ``reps`` makes the job a *replication suite*: executed via
+    :func:`replicate_spec`, it fans ``seed .. seed + reps - 1`` through
+    :func:`repro.core.broadcast.run_replications` on the ``engine`` of
+    choice and returns a streamed
+    :class:`~repro.analysis.stats.ReplicationSummary` instead of one
+    record per seed.
     """
 
     algorithm: str
@@ -44,10 +51,12 @@ class RunSpec:
     failure_pattern: str = "random"
     check_model: bool = True
     schedule: Optional[AdversitySchedule] = None
+    reps: int = 1
+    engine: str = "auto"
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def run(self) -> AlgorithmReport:
-        """Execute this job, returning the full report."""
+        """Execute this job once (at ``seed``), returning the full report."""
         return broadcast(
             self.n,
             self.algorithm,
@@ -61,8 +70,26 @@ class RunSpec:
             **self.kwargs,
         )
 
+    def replicate(self) -> ReplicationSummary:
+        """Execute this job as a ``reps``-seed streamed replication suite."""
+        return run_replications(
+            self.n,
+            self.algorithm,
+            reps=self.reps,
+            base_seed=self.seed,
+            engine=self.engine,
+            source=self.source,
+            message_bits=self.message_bits,
+            failures=self.failures,
+            failure_pattern=self.failure_pattern,
+            schedule=self.schedule,
+            check_model=self.check_model,
+            **self.kwargs,
+        )
+
     def describe(self) -> str:
-        return f"{self.algorithm} n={self.n} seed={self.seed}"
+        tail = f" x{self.reps}" if self.reps > 1 else f" seed={self.seed}"
+        return f"{self.algorithm} n={self.n}{tail}"
 
 
 @dataclass(frozen=True)
@@ -116,6 +143,13 @@ def run_spec_report(spec: RunSpec) -> AlgorithmReport:
     """Worker entry point for report-shaped execution (benches that need
     clusterings, phase metrics, or ``uninformed_survivors``)."""
     return spec.run()
+
+
+def replicate_spec(spec: RunSpec) -> ReplicationSummary:
+    """Worker entry point for replication suites: one job = one streamed
+    ``reps``-seed aggregate (``ReplicationSummary`` is picklable, so these
+    fan out over the process pool like any other job)."""
+    return spec.replicate()
 
 
 def run_once(
@@ -254,6 +288,43 @@ def sweep(
         **kwargs,
     )
     return execute(specs, workers=workers, progress=progress)
+
+
+def replication_sweep(
+    algorithms: Sequence[str],
+    ns: Sequence[int],
+    reps: int,
+    *,
+    base_seed: int = 0,
+    engine: str = "auto",
+    message_bits: int = 256,
+    failures: float = 0,
+    schedule: Optional[AdversitySchedule] = None,
+    check_model: bool = True,
+    workers: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+    **kwargs: Any,
+) -> List[ReplicationSummary]:
+    """An ``algorithm x n`` grid where every cell is a ``reps``-seed
+    streamed replication suite (cells fan out over ``workers`` processes;
+    within a cell the replications stream through one engine)."""
+    specs = [
+        RunSpec(
+            algorithm=algorithm,
+            n=n,
+            seed=base_seed,
+            message_bits=message_bits,
+            failures=failures,
+            schedule=schedule,
+            check_model=check_model,
+            reps=reps,
+            engine=engine,
+            kwargs=dict(kwargs),
+        )
+        for algorithm in algorithms
+        for n in ns
+    ]
+    return execute(specs, workers=workers, progress=progress, job=replicate_spec)
 
 
 def sweep_reports(

@@ -4,13 +4,21 @@ The paper's guarantees are w.h.p. statements; empirically we run each
 configuration across several seeds and report mean, spread, and a normal
 approximation confidence interval.  (Seeds are few, so the CIs are coarse
 guides, not rigorous bounds — benches report them alongside min/max.)
+
+For large replication suites (hundreds of seeds) the batch helpers above
+are joined by **streaming** aggregation: :class:`StreamingSummary` folds
+one observation at a time into Welford's online mean/variance recurrence
+plus a compact scalar buffer for quantiles, and
+:class:`ReplicationSummary` groups one such stream per figure of merit.
+A 500-seed suite therefore never materialises 500 records — each
+replication is reduced to a handful of floats the moment it finishes.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 
 @dataclass(frozen=True)
@@ -62,6 +70,183 @@ def success_rate(flags: Sequence[bool]) -> float:
     if not flags:
         return float("nan")
     return sum(bool(f) for f in flags) / len(flags)
+
+
+class StreamingSummary:
+    """Online summary of a scalar stream (Welford's algorithm).
+
+    ``push(x)`` folds one observation in O(1): count, mean and the
+    centred second moment ``M2`` follow Welford's numerically stable
+    recurrence, so the variance of a 10^6-observation stream is exact to
+    float precision without storing the stream.  Quantiles need *some*
+    memory; a compact scalar buffer keeps up to ``max_samples`` raw
+    values (8 bytes each — nothing like the records they came from) and
+    beyond that decimates deterministically by keeping every k-th
+    observation, so the quantile estimate stays unbiased for exchangeable
+    replication streams while memory stays bounded.
+    """
+
+    def __init__(self, max_samples: int = 4096) -> None:
+        if max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._max_samples = max_samples
+        self._samples: List[float] = []
+        self._stride = 1  # keep every _stride-th observation for quantiles
+
+    def push(self, value: float) -> None:
+        """Fold one observation into the stream."""
+        x = float(value)
+        self.count += 1
+        delta = x - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (x - self.mean)
+        if x < self.minimum:
+            self.minimum = x
+        if x > self.maximum:
+            self.maximum = x
+        if (self.count - 1) % self._stride == 0:
+            if len(self._samples) >= self._max_samples:
+                # Decimate: halve the buffer, double the stride.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+            self._samples.append(x)
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1)."""
+        if self.count < 2:
+            return 0.0 if self.count == 1 else float("nan")
+        return self._m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance) if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Empirical quantile (linear interpolation) of the kept samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if not self._samples:
+            return float("nan")
+        ordered = sorted(self._samples)
+        pos = q * (len(ordered) - 1)
+        lo = int(math.floor(pos))
+        hi = int(math.ceil(pos))
+        if lo == hi:
+            return ordered[lo]
+        frac = pos - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def to_summary(self) -> Summary:
+        """Freeze into the batch :class:`Summary` shape."""
+        if self.count == 0:
+            return Summary(0, float("nan"), float("nan"), float("nan"), float("nan"))
+        return Summary(self.count, self.mean, self.std, self.minimum, self.maximum)
+
+    def __str__(self) -> str:
+        return str(self.to_summary())
+
+
+#: The figures of merit a replication stream tracks, in display order.
+REPLICATION_METRICS = (
+    "rounds",
+    "spread_rounds",
+    "messages_per_node",
+    "bits_per_node",
+    "max_fanin",
+)
+
+
+@dataclass
+class ReplicationSummary:
+    """Streamed aggregate of R replications of one configuration.
+
+    One :class:`StreamingSummary` per figure of merit plus a success
+    tally; :meth:`observe` consumes one replication's scalars and
+    discards them.  This is the return shape of
+    :func:`repro.core.broadcast.run_replications` — the whole point is
+    that its memory footprint is independent of the replication count.
+    """
+
+    algorithm: str
+    n: int
+    engine: str = "reset"
+    metrics: Dict[str, StreamingSummary] = field(
+        default_factory=lambda: {m: StreamingSummary() for m in REPLICATION_METRICS}
+    )
+    successes: int = 0
+    reps: int = 0
+
+    def observe(
+        self,
+        *,
+        rounds: float,
+        spread_rounds: float,
+        messages_per_node: float,
+        bits_per_node: float,
+        max_fanin: float,
+        success: bool,
+    ) -> None:
+        """Fold one replication's headline figures into the stream."""
+        self.reps += 1
+        self.successes += bool(success)
+        values = {
+            "rounds": rounds,
+            "spread_rounds": spread_rounds,
+            "messages_per_node": messages_per_node,
+            "bits_per_node": bits_per_node,
+            "max_fanin": max_fanin,
+        }
+        for name, value in values.items():
+            self.metrics[name].push(value)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.reps if self.reps else float("nan")
+
+    def success_interval(self, z: float = 1.96) -> "tuple[float, float]":
+        """Wilson interval of the success probability."""
+        return wilson_interval(self.successes, self.reps, z)
+
+    def __getattr__(self, name: str) -> StreamingSummary:
+        # Convenience: summary.spread_rounds is the per-metric stream.
+        try:
+            return self.__dict__["metrics"][name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def row(self) -> Dict[str, object]:
+        """Flat dict for result tables."""
+        spread = self.metrics["spread_rounds"]
+        msgs = self.metrics["messages_per_node"]
+        return {
+            "algorithm": self.algorithm,
+            "n": self.n,
+            "reps": self.reps,
+            "engine": self.engine,
+            "spread_mean": round(spread.mean, 3),
+            "spread_q50": round(spread.quantile(0.5), 3),
+            "spread_q90": round(spread.quantile(0.9), 3),
+            "msgs_per_node_mean": round(msgs.mean, 3),
+            "max_fanin": self.metrics["max_fanin"].maximum,
+            "success_rate": round(self.success_rate, 4),
+        }
+
+    def __str__(self) -> str:
+        lo, hi = self.success_interval() if self.reps else (float("nan"),) * 2
+        spread = self.metrics["spread_rounds"]
+        return (
+            f"{self.algorithm}(n={self.n}) x{self.reps} [{self.engine}]: "
+            f"spread {spread.mean:.2f} (q50 {spread.quantile(0.5):.1f}, "
+            f"q90 {spread.quantile(0.9):.1f}), "
+            f"msgs/node {self.metrics['messages_per_node'].mean:.2f}, "
+            f"success {self.success_rate:.3f} [wilson {lo:.3f}, {hi:.3f}]"
+        )
 
 
 def wilson_interval(successes: int, trials: int, z: float = 1.96) -> "tuple[float, float]":

@@ -14,7 +14,13 @@ import math
 import numpy as np
 
 from repro.core.result import AlgorithmReport, report_from_sim
-from repro.registry import register_algorithm
+from repro.registry import register_algorithm, register_batch_runner
+from repro.sim.batch import (
+    BatchOutcome,
+    per_rep_max_fanin,
+    random_targets_batch,
+    resolve_sources,
+)
 from repro.sim.engine import Simulator
 from repro.sim.protocol import VectorProtocol, run_protocol
 from repro.sim.trace import Trace, null_trace
@@ -85,4 +91,76 @@ def uniform_push_pull(
         protocol.informed,
         trace,
         completion_round=result.completion_round,
+    )
+
+
+@register_batch_runner("push-pull")
+def batched_push_pull(
+    n: int,
+    reps: int,
+    rng: np.random.Generator,
+    *,
+    message_bits: int = 256,
+    source: "int | None" = 0,
+    max_rounds: "int | None" = None,
+) -> BatchOutcome:
+    """PUSH-PULL over its full w.h.p. schedule, ``reps`` replications at
+    once in ``(reps, n)`` arrays (see :mod:`repro.sim.batch`).
+
+    Accounting matches the engine path message for message: every node
+    initiates each round (informed push, uninformed pull); a push is one
+    ``message_bits``-bit message; a pull charges one response iff the
+    responder holds the rumor; every contact counts toward its target's
+    fan-in.  All replications run the same fixed schedule, so the batch
+    stays rectangular and one set of numpy ops per round advances — and
+    accounts — all of them.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be positive, got {reps}")
+    cap = max_rounds if max_rounds is not None else push_pull_round_cap(n)
+    sources = resolve_sources(source, reps, n, rng)
+    informed = np.zeros((reps, n), dtype=bool)
+    informed[np.arange(reps), sources] = True
+
+    row_offsets = (np.arange(reps, dtype=np.int64) * n)[:, None]
+    messages = np.zeros(reps, dtype=np.int64)
+    max_fanin = np.zeros(reps, dtype=np.int64)
+    completion = np.full(reps, -1, dtype=np.int64)
+    flat_informed = informed.ravel()  # view — stays in sync with `informed`
+
+    for step in range(cap):
+        targets = random_targets_batch(rng, reps, n)
+        flat_t = (targets + row_offsets).ravel()
+        # Synchronous semantics: responders and push senders act on the
+        # informed set as of the round's start.
+        target_informed = flat_informed[flat_t].reshape(reps, n)
+        pushers = informed.copy()
+        pull_hits = ~informed & target_informed  # answered pulls, per puller
+
+        # Metrics: pushes + answered pulls are the content messages; every
+        # contact (all n per rep — everyone initiates) arrives, so fan-in
+        # is the per-target contact count.
+        pushes = pushers.sum(axis=1)
+        responses = pull_hits.sum(axis=1)
+        messages += pushes + responses
+        np.maximum(max_fanin, per_rep_max_fanin(flat_t, reps, n), out=max_fanin)
+
+        # Deliveries.
+        flat_informed[flat_t[pushers.ravel()]] = True
+        informed |= pull_hits
+
+        done = informed.all(axis=1)
+        completion[(completion < 0) & done] = step + 1
+
+    informed_counts = informed.sum(axis=1)
+    return BatchOutcome(
+        algorithm="push-pull",
+        n=n,
+        rounds=np.full(reps, cap, dtype=np.int64),
+        completion_round=completion,
+        messages=messages,
+        bits=messages * int(message_bits),
+        max_fanin=max_fanin,
+        informed_counts=informed_counts,
+        success=informed_counts == n,
     )

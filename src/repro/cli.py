@@ -4,11 +4,15 @@ Commands:
 
 * ``run`` — one broadcast with full phase breakdown; ``--churn``,
   ``--loss`` and ``--schedule`` add a dynamic-adversity timeline;
+  ``--reps N`` streams N seeded replications through the scale tier
+  (``--stream`` prints each as it passes, ``--engine`` picks the
+  executor);
 * ``sweep`` — an algorithm x n x seed grid, rendered as a table
   (``--workers N`` fans the jobs out over N processes);
 * ``scenario`` — a named workload preset;
 * ``suite`` — a scenario x seed grid through the parallel executor
-  (``--json PATH`` dumps the records for CI artifacts);
+  (``--json PATH`` dumps the records for CI artifacts; ``--reps N``
+  switches the cells to streamed replication aggregates);
 * ``lower-bound`` — the Section 6 feasibility experiment;
 * ``list-algorithms`` / ``list-scenarios`` / ``list-schedules`` — the
   registry catalogues (``list`` prints all three).
@@ -24,7 +28,7 @@ from typing import List, Optional
 
 from repro.analysis.runner import aggregate, sweep
 from repro.analysis.tables import Table
-from repro.core.broadcast import broadcast
+from repro.core.broadcast import REPLICATION_ENGINES, broadcast, run_replications
 from repro.core.lower_bound import min_feasible_rounds, theorem3_bound
 from repro.registry import algorithm_names, algorithm_specs
 from repro.sim.dynamics import (
@@ -37,6 +41,7 @@ from repro.sim.dynamics import (
 )
 from repro.workloads.scenarios import (
     SCENARIOS,
+    replicate_suite,
     run_scenario,
     run_suite,
     scenario_names,
@@ -81,7 +86,69 @@ def _add_dynamics_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _replication_table(summaries, title: str) -> Table:
+    table = Table(
+        title=title,
+        columns=[
+            "algorithm", "n", "reps", "engine", "spread mean",
+            "spread q50/q90", "msgs/node", "maxΔ", "success (wilson)",
+        ],
+    )
+    for s in summaries:
+        spread = s.metrics["spread_rounds"]
+        lo, hi = s.success_interval()
+        table.add(
+            s.algorithm,
+            s.n,
+            s.reps,
+            s.engine,
+            f"{spread.mean:.2f}±{1.96 * spread.std / max(s.reps, 1) ** 0.5:.2f}",
+            f"{spread.quantile(0.5):.0f}/{spread.quantile(0.9):.0f}",
+            f"{s.metrics['messages_per_node'].mean:.2f}",
+            int(s.metrics["max_fanin"].maximum),
+            f"{s.success_rate:.3f} [{lo:.3f}, {hi:.3f}]",
+        )
+    return table
+
+
+def _cmd_run_replications(args: argparse.Namespace) -> int:
+    consume = None
+    if args.stream:
+
+        def consume(scalars: dict) -> None:
+            seed = scalars["seed"]
+            who = f"seed={seed}" if seed is not None else f"rep={scalars['rep']}"
+            print(
+                f"  rep {scalars['rep'] + 1}/{args.reps} ({who}): "
+                f"spread={scalars['spread_rounds']} "
+                f"msgs/node={scalars['messages_per_node']:.2f} "
+                f"success={scalars['success']}"
+            )
+
+    summary = run_replications(
+        args.n,
+        args.algorithm,
+        reps=args.reps,
+        base_seed=args.seed,
+        engine=args.engine,
+        message_bits=args.message_bits,
+        failures=args.failures,
+        schedule=_schedule_from_args(args),
+        consume=consume,
+    )
+    print(_replication_table([summary], f"{args.reps} replications").render())
+    return 0 if summary.success_rate > 0 else 1
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.reps > 1:
+        return _cmd_run_replications(args)
+    if args.stream or args.engine != "auto":
+        print(
+            "note: --stream/--engine only apply with --reps > 1; "
+            "running a single broadcast",
+            file=sys.stderr,
+        )
     report = broadcast(
         args.n,
         args.algorithm,
@@ -147,7 +214,37 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_suite_replicated(args: argparse.Namespace) -> int:
+    cells = replicate_suite(
+        args.names or None,
+        reps=args.reps,
+        workers=args.workers,
+    )
+    if args.json:
+        payload = [
+            {"scenario": cell.scenario, "summary": cell.summary.row()}
+            for cell in cells
+        ]
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        print(f"wrote {len(payload)} summaries to {args.json}")
+    summaries = [cell.summary for cell in cells]
+    table = _replication_table(
+        summaries, f"replicated scenario suite ({args.reps} reps/cell)"
+    )
+    print(table.render())
+    return 0 if all(s.success_rate > 0 for s in summaries) else 1
+
+
 def _cmd_suite(args: argparse.Namespace) -> int:
+    if args.reps > 1:
+        if args.seeds != 1:
+            print(
+                "note: --seeds is ignored with --reps > 1 (replications "
+                f"cover seeds 0..{args.reps - 1} per scenario)",
+                file=sys.stderr,
+            )
+        return _cmd_suite_replicated(args)
     results = run_suite(
         args.names or None,
         seeds=range(args.seeds),
@@ -242,12 +339,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="run one broadcast")
+    p_run = sub.add_parser("run", help="run one broadcast (or a replication suite)")
     p_run.add_argument("--n", type=int, default=4096)
     p_run.add_argument("--algorithm", default="cluster2", choices=algorithm_names())
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--message-bits", type=int, default=256)
     p_run.add_argument("--failures", type=int, default=0)
+    p_run.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        help="replication count: >1 streams N seeded runs through the "
+        "replication layer and prints the aggregate (never materialising "
+        "per-seed records)",
+    )
+    p_run.add_argument(
+        "--stream",
+        action="store_true",
+        help="with --reps, print each replication's figures as it streams past",
+    )
+    p_run.add_argument(
+        "--engine",
+        default="auto",
+        choices=REPLICATION_ENGINES,
+        help="replication engine: vector = batched (R,n) executor, reset = "
+        "memory-lean sequential (bit-identical to single runs), rebuild = "
+        "the legacy per-seed loop, auto = best available",
+    )
     _add_dynamics_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -276,6 +394,13 @@ def build_parser() -> argparse.ArgumentParser:
         "names", nargs="*", help="scenario names (default: whole catalogue)"
     )
     p_suite.add_argument("--seeds", type=int, default=1)
+    p_suite.add_argument(
+        "--reps",
+        type=int,
+        default=1,
+        help="replications per scenario: >1 switches every cell to the "
+        "streamed replication layer (aggregates, not per-seed records)",
+    )
     p_suite.add_argument("--workers", type=int, default=1)
     p_suite.add_argument(
         "--json",

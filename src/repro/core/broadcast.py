@@ -14,23 +14,33 @@ third-party algorithms plug in without touching this module.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.core.constants import LAPTOP, Profile, get_profile
 from repro.core.result import AlgorithmReport
-from repro.registry import algorithm_names, get_algorithm
+from repro.registry import AlgorithmSpec, algorithm_names, get_algorithm
+from repro.sim.batch import DEFAULT_BATCH_ELEMS, batch_size
 from repro.sim.dynamics import AdversitySchedule, resolve_schedule
-from repro.sim.engine import Simulator
+from repro.sim.engine import BufferPool, Simulator
 from repro.sim.failures import apply_pattern
 from repro.sim.metrics import Metrics
 from repro.sim.network import Network
 from repro.sim.rng import derive_seed, make_rng
 from repro.sim.trace import Trace
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.stats import ReplicationSummary
+
 #: Re-exported so ``from repro import BroadcastResult`` reads naturally.
 BroadcastResult = AlgorithmReport
 
-__all__ = ["BroadcastResult", "algorithm_names", "broadcast"]
+__all__ = [
+    "BroadcastResult",
+    "ReplicationEngine",
+    "algorithm_names",
+    "broadcast",
+    "run_replications",
+]
 
 
 def broadcast(
@@ -96,23 +106,62 @@ def broadcast(
         raise ValueError(f"source {source} out of range for n={n}")
 
     net = Network(n, rng=derive_seed(seed, "net"), rumor_bits=message_bits)
+    return _run_on_network(
+        net,
+        spec,
+        seed,
+        source=source,
+        failures=failures,
+        failure_pattern=failure_pattern,
+        schedule=resolve_schedule(schedule),
+        profile=profile,
+        trace=trace,
+        check_model=check_model,
+        pool=None,
+        algorithm_kwargs=algorithm_kwargs,
+    )
+
+
+def _run_on_network(
+    net: Network,
+    spec: AlgorithmSpec,
+    seed: int,
+    *,
+    source: Optional[int],
+    failures: float,
+    failure_pattern: str,
+    schedule: Optional[AdversitySchedule],
+    profile: Profile,
+    trace: Optional[Trace],
+    check_model: bool,
+    pool: Optional["BufferPool"],
+    algorithm_kwargs: dict,
+) -> AlgorithmReport:
+    """Execute one seeded broadcast on an already-built network.
+
+    The single execution path behind both :func:`broadcast` (fresh
+    network, no pool) and :class:`ReplicationEngine` (reset network,
+    shared pool): every seed-derived stream is identical in both shapes,
+    which is what makes reset-engine replications bit-identical to
+    independent :func:`broadcast` calls.
+    """
     if failures:
         apply_pattern(net, failure_pattern, failures, derive_seed(seed, "fail"))
     if source is None:
         alive = net.alive_indices()
         source = int(alive[make_rng(derive_seed(seed, "source")).integers(len(alive))])
-    resolved = resolve_schedule(schedule)
     dynamics = (
-        resolved.bind(net, make_rng(derive_seed(seed, "dynamics")))
-        if resolved is not None
+        schedule.bind(net, make_rng(derive_seed(seed, "dynamics")))
+        if schedule is not None
         else None
     )
     sim = Simulator(
         net,
         make_rng(derive_seed(seed, "algo")),
-        Metrics(n),
+        Metrics(net.n),
         check_model=check_model,
         dynamics=dynamics,
+        pool=pool,
     )
     report = spec.run(sim, source, profile, trace, **algorithm_kwargs)
     report.extras.setdefault("seed", seed)
@@ -123,7 +172,238 @@ def broadcast(
     # copy of the rumor died is a model outcome, not a harness failure.
     report.extras.setdefault("source_alive", bool(net.alive[source]))
     if dynamics is not None:
-        report.extras.setdefault("schedule", resolved.describe())
+        report.extras.setdefault("schedule", schedule.describe())
         for key, value in dynamics.summary().items():
             report.extras.setdefault(key, value)
     return report
+
+
+class ReplicationEngine:
+    """A reusable broadcast context: construction cost paid once, not per seed.
+
+    Holds one :class:`~repro.sim.network.Network` (reset in place per
+    seed, reusing its O(n) allocations) and one
+    :class:`~repro.sim.engine.BufferPool` (reused across rounds *and*
+    replications), so a replication suite stops paying network
+    construction and per-round scratch allocation for every seed.  The
+    memory-lean ``index_dtype="auto"`` mode is the default here — index
+    arrays narrow to int32 below ``n = 2**31`` — and every seed's report
+    is **bit-identical** to an independent ``broadcast(seed=...)`` call
+    (pinned by the fingerprint corpus in ``tests/test_fingerprints.py``):
+    random draws are dtype-invariant and pooling only moves intermediates.
+
+    >>> eng = ReplicationEngine(4096, "cluster2")
+    >>> reports = [eng.run(seed) for seed in range(100)]   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        n: int,
+        algorithm: str = "cluster2",
+        *,
+        source: Optional[int] = 0,
+        message_bits: int = 256,
+        failures: float = 0,
+        failure_pattern: str = "random",
+        schedule: "AdversitySchedule | str | None" = None,
+        profile: "Profile | str" = LAPTOP,
+        check_model: bool = True,
+        index_dtype: "str | None" = "auto",
+        **algorithm_kwargs: Any,
+    ) -> None:
+        self.n = int(n)
+        self.spec = get_algorithm(algorithm)
+        self.source = source
+        self.message_bits = message_bits
+        self.failures = failures
+        self.failure_pattern = failure_pattern
+        self.schedule = resolve_schedule(schedule)
+        self.profile = get_profile(profile) if isinstance(profile, str) else profile
+        self.check_model = check_model
+        self.index_dtype = index_dtype
+        self.algorithm_kwargs = dict(algorithm_kwargs)
+        if source is not None and not 0 <= source < n:
+            raise ValueError(f"source {source} out of range for n={n}")
+        self._net: Optional[Network] = None
+        self._pool = BufferPool()
+
+    @property
+    def pool(self) -> BufferPool:
+        """The shared per-round scratch pool (exposed for tests)."""
+        return self._pool
+
+    def run(self, seed: int, trace: Optional[Trace] = None) -> AlgorithmReport:
+        """Execute one replication, bit-identical to ``broadcast(seed=seed)``."""
+        net_seed = derive_seed(seed, "net")
+        if self._net is None:
+            self._net = Network(
+                self.n,
+                rng=net_seed,
+                rumor_bits=self.message_bits,
+                index_dtype=self.index_dtype,
+            )
+        else:
+            self._net.reset(net_seed)
+        return _run_on_network(
+            self._net,
+            self.spec,
+            seed,
+            source=self.source,
+            failures=self.failures,
+            failure_pattern=self.failure_pattern,
+            schedule=self.schedule,
+            profile=self.profile,
+            trace=trace,
+            check_model=self.check_model,
+            pool=self._pool,
+            algorithm_kwargs=self.algorithm_kwargs,
+        )
+
+
+#: Replication execution engines, least to most specialised.
+REPLICATION_ENGINES = ("auto", "vector", "reset", "rebuild")
+
+
+def run_replications(
+    n: int,
+    algorithm: str = "cluster2",
+    reps: int = 1,
+    *,
+    base_seed: int = 0,
+    engine: str = "auto",
+    source: Optional[int] = 0,
+    message_bits: int = 256,
+    failures: float = 0,
+    failure_pattern: str = "random",
+    schedule: "AdversitySchedule | str | None" = None,
+    profile: "Profile | str" = LAPTOP,
+    check_model: bool = True,
+    consume: Optional[Callable[[dict], None]] = None,
+    batch_elems: int = DEFAULT_BATCH_ELEMS,
+    **algorithm_kwargs: Any,
+) -> ReplicationSummary:
+    """Fan one configuration across ``reps`` seeds, aggregating as a stream.
+
+    Each replication is reduced to its headline scalars the moment it
+    finishes and folded into a
+    :class:`~repro.analysis.stats.ReplicationSummary` (Welford
+    mean/variance, min/max, compact quantile buffer, Wilson success
+    interval) — a 500-seed suite holds a handful of floats, never 500
+    records.  ``consume`` (optional) additionally receives each
+    replication's scalar dict as it streams past, e.g. for live CLI
+    output or custom sinks.
+
+    Engines
+    -------
+    ``"reset"``
+        The memory-lean sequential engine (:class:`ReplicationEngine`):
+        any algorithm, any schedule; replication ``i`` runs seed
+        ``base_seed + i`` and is bit-identical to
+        ``broadcast(seed=base_seed + i)``.
+    ``"vector"``
+        The batched ``(R, n)`` executor (:mod:`repro.sim.batch`) for
+        algorithms that registered a batch runner; zero-adversity only.
+        Statistically equivalent to (not stream-identical with) the
+        sequential engines; chunked so no work array exceeds
+        ``batch_elems`` elements regardless of ``reps``.
+    ``"rebuild"``
+        The historical loop — a fresh :func:`broadcast` per seed.  Kept
+        as the baseline the scale benchmarks measure against.
+    ``"auto"``
+        ``vector`` when eligible, else ``reset``.
+    """
+    # Imported here, not at module top: repro.analysis.runner imports this
+    # module, so a top-level import of repro.analysis would be circular.
+    from repro.analysis.stats import ReplicationSummary
+
+    if reps < 1:
+        raise ValueError(f"reps must be positive, got {reps}")
+    if engine not in REPLICATION_ENGINES:
+        raise ValueError(
+            f"unknown replication engine {engine!r}; choose from {REPLICATION_ENGINES}"
+        )
+    spec = get_algorithm(algorithm)
+    resolved = resolve_schedule(schedule)
+    vector_ok = spec.batch_runner is not None and resolved is None and not failures
+    if engine == "vector" and not vector_ok:
+        raise ValueError(
+            f"vector engine unavailable for {algorithm!r} here: it needs a "
+            "registered batch runner and a zero-adversity, zero-failure "
+            "configuration"
+        )
+    if engine == "auto":
+        engine = "vector" if vector_ok else "reset"
+
+    summary = ReplicationSummary(algorithm=algorithm, n=n, engine=engine)
+
+    def feed(rep: int, seed: Optional[int], scalars: dict) -> None:
+        summary.observe(**scalars)
+        if consume is not None:
+            consume({"rep": rep, "seed": seed, **scalars})
+
+    if engine == "vector":
+        done = 0
+        while done < reps:
+            take = batch_size(n, reps - done, batch_elems)
+            rng = make_rng(derive_seed(base_seed, "vector", done))
+            outcome = spec.batch_runner(
+                n,
+                take,
+                rng,
+                message_bits=message_bits,
+                source=source,
+                **algorithm_kwargs,
+            )
+            for i in range(outcome.reps):
+                feed(done + i, None, outcome.rep_scalars(i))
+            done += take
+        return summary
+
+    if engine == "reset":
+        replication = ReplicationEngine(
+            n,
+            algorithm,
+            source=source,
+            message_bits=message_bits,
+            failures=failures,
+            failure_pattern=failure_pattern,
+            schedule=resolved,
+            profile=profile,
+            check_model=check_model,
+            **algorithm_kwargs,
+        )
+        run_one = replication.run
+    else:  # rebuild — the legacy loop
+
+        def run_one(seed: int) -> AlgorithmReport:
+            return broadcast(
+                n,
+                algorithm,
+                seed=seed,
+                source=source,
+                message_bits=message_bits,
+                failures=failures,
+                failure_pattern=failure_pattern,
+                schedule=resolved,
+                profile=profile,
+                check_model=check_model,
+                **algorithm_kwargs,
+            )
+
+    for rep in range(reps):
+        seed = base_seed + rep
+        report = run_one(seed)
+        feed(rep, seed, report_scalars(report))
+    return summary
+
+
+def report_scalars(report: AlgorithmReport) -> dict:
+    """One report's figures in :meth:`ReplicationSummary.observe` shape."""
+    return {
+        "rounds": report.rounds,
+        "spread_rounds": report.spread_rounds,
+        "messages_per_node": report.messages_per_node,
+        "bits_per_node": report.bits_per_node,
+        "max_fanin": report.max_fanin,
+        "success": report.success,
+    }

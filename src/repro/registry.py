@@ -38,6 +38,7 @@ importing :mod:`repro.baselines` first.
 
 from __future__ import annotations
 
+import dataclasses
 import importlib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
@@ -74,6 +75,12 @@ class AlgorithmSpec:
         surface for scenario validation and ``list-algorithms``).
     doc:
         One-line description for catalogues.
+    batch_runner:
+        Optional vectorised replication entry point (see
+        :mod:`repro.sim.batch`): ``fn(n, reps, rng, *, message_bits,
+        source, **knobs) -> BatchOutcome`` advancing R replications in
+        ``(R, n)`` arrays.  ``None`` (most algorithms) means replication
+        suites fall back to the memory-lean sequential engine.
     """
 
     name: str
@@ -83,6 +90,7 @@ class AlgorithmSpec:
     broadcastable: bool = True
     kwargs: Tuple[str, ...] = ()
     doc: str = ""
+    batch_runner: Optional[Callable[..., Any]] = None
 
     def run(self, sim, source, profile, trace, **algorithm_kwargs):
         """Invoke the runner with the uniform dispatch convention."""
@@ -194,6 +202,31 @@ def register_spec(spec: AlgorithmSpec) -> AlgorithmSpec:
             )
     _REGISTRY[spec.name] = spec
     return spec
+
+
+def register_batch_runner(name: str) -> Callable[[Callable], Callable]:
+    """Attach a vectorised replication runner to algorithm ``name``.
+
+    Used as a decorator *after* the algorithm itself is registered (the
+    two entry points usually live in the same module)::
+
+        @register_batch_runner("push-pull")
+        def batched_push_pull(n, reps, rng, *, message_bits=256, source=0,
+                              max_rounds=None) -> BatchOutcome: ...
+
+    Returns the function unchanged.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        spec = _REGISTRY.get(name)
+        if spec is None:
+            raise UnknownAlgorithmError(
+                f"cannot attach a batch runner to unregistered algorithm {name!r}"
+            )
+        _REGISTRY[name] = dataclasses.replace(spec, batch_runner=fn)
+        return fn
+
+    return decorate
 
 
 def unregister_algorithm(name: str) -> None:

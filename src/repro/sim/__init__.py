@@ -18,8 +18,11 @@ This subpackage implements the communication model of Haeupler & Malkhi
   message loss, blackout windows and revivals, driven through the round
   engine by declarative, picklable schedules (:mod:`repro.sim.dynamics`).
 
-All hot paths are vectorised over numpy arrays of node indices so that the
-simulator comfortably handles ``n`` up to a few hundred thousand nodes.
+All hot paths are vectorised over numpy arrays of node indices.  The
+memory-lean mode (int32 index arrays, pooled per-round buffers, in-place
+``Network.reset``) plus the batched ``(R, n)`` replication substrate
+(:mod:`repro.sim.batch`) carry the simulator to ``n = 2**20`` and
+hundreds of replications per configuration — see ``benchmarks/bench_scale.py``.
 """
 
 from repro.sim.delivery import (
@@ -38,7 +41,8 @@ from repro.sim.dynamics import (
     parse_schedule,
     resolve_schedule,
 )
-from repro.sim.engine import ModelViolation, Round, Simulator
+from repro.sim.batch import BatchOutcome, random_targets_batch
+from repro.sim.engine import BufferPool, ModelViolation, Round, Simulator
 from repro.sim.ids import IdSpace
 from repro.sim.messages import MessageSizes
 from repro.sim.metrics import Metrics, PhaseStats
@@ -47,7 +51,9 @@ from repro.sim.rng import make_rng, spawn_rngs
 
 __all__ = [
     "AdversitySchedule",
+    "BatchOutcome",
     "Blackout",
+    "BufferPool",
     "CrashAt",
     "CrashTrickle",
     "IdSpace",
@@ -62,6 +68,7 @@ __all__ = [
     "Simulator",
     "make_rng",
     "parse_schedule",
+    "random_targets_batch",
     "receive_any",
     "receive_counts",
     "receive_min_by_key",

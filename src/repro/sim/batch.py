@@ -1,0 +1,130 @@
+"""Batched replication substrate: R replications in ``(R, n)`` arrays.
+
+The round engine in :mod:`repro.sim.engine` simulates one execution at a
+time; its per-round cost is a fixed amount of Python dispatch plus numpy
+work proportional to ``n``.  For replication suites — hundreds of seeds
+of the *same* configuration — that Python dispatch dominates at small and
+medium ``n``, so this module provides the other execution shape: a
+**vectorised replication executor** that advances ``R`` independent
+replications simultaneously over ``(R, n)``-shaped state, paying the
+Python dispatch once per round for the whole batch.
+
+An algorithm opts in by registering a *batch runner* (see
+:func:`repro.registry.register_batch_runner`) that advances all
+replications with the same accounting conventions as the engine
+(:mod:`repro.sim.metrics`) and returns a :class:`BatchOutcome` of per-rep
+scalars.  Uniform schedule-driven protocols (PUSH-PULL) fit naturally:
+every replication runs the same fixed w.h.p. schedule, so the batch is
+perfectly rectangular.  Phase-structured algorithms (Cluster2) do not —
+they replicate through the memory-lean sequential engine instead
+(:class:`repro.core.broadcast.ReplicationEngine`).
+
+Determinism: a batch is a deterministic function of its generator and
+shape.  The draws are made at the canonical lean index dtype (int32 for
+every ``n < 2**31``), in rep-major ``(R, n)`` blocks — a *different* (but
+identically distributed) stream than R sequential runs, which is why the
+batched path is validated statistically (``tests/test_whp_bounds.py``)
+rather than by fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.network import resolve_index_dtype
+
+#: Soft cap on elements per ``(R, n)`` work array; chunking in
+#: :func:`repro.core.broadcast.run_replications` sizes batches so that
+#: ``R * n`` stays under it (~32 MiB per int64 intermediate).
+DEFAULT_BATCH_ELEMS = 2**22
+
+
+def batch_size(n: int, reps: int, max_elems: int = DEFAULT_BATCH_ELEMS) -> int:
+    """Replications per batch for networks of size ``n`` (at least 1)."""
+    return max(1, min(int(reps), int(max_elems) // int(n)))
+
+
+@dataclass
+class BatchOutcome:
+    """Per-replication headline figures of one executed batch.
+
+    Arrays are parallel, length R.  ``completion_round`` is -1 when a
+    replication never informed everyone inside its schedule.
+    """
+
+    algorithm: str
+    n: int
+    rounds: np.ndarray
+    completion_round: np.ndarray
+    messages: np.ndarray
+    bits: np.ndarray
+    max_fanin: np.ndarray
+    informed_counts: np.ndarray
+    success: np.ndarray
+
+    @property
+    def reps(self) -> int:
+        return len(self.rounds)
+
+    def spread_rounds(self, rep: int) -> int:
+        """Rounds until full coverage (schedule length if never covered)."""
+        c = int(self.completion_round[rep])
+        return c if c >= 0 else int(self.rounds[rep])
+
+    def rep_scalars(self, rep: int) -> dict:
+        """One replication's figures in :meth:`ReplicationSummary.observe`
+        keyword shape."""
+        return {
+            "rounds": int(self.rounds[rep]),
+            "spread_rounds": self.spread_rounds(rep),
+            "messages_per_node": float(self.messages[rep]) / self.n,
+            "bits_per_node": float(self.bits[rep]) / self.n,
+            "max_fanin": int(self.max_fanin[rep]),
+            "success": bool(self.success[rep]),
+        }
+
+
+#: Signature of a registered batch runner.
+BatchRunner = Callable[..., BatchOutcome]
+
+
+def random_targets_batch(
+    rng: np.random.Generator, reps: int, n: int, dtype=None
+) -> np.ndarray:
+    """``(reps, n)`` uniformly random *other*-node targets.
+
+    The same pick-from-``n - 1``-and-shift trick as
+    :meth:`repro.sim.network.Network.random_targets`, vectorised across
+    replications; node ``i`` of every replication never dials itself.
+    Drawn directly at the lean index dtype.
+    """
+    if dtype is None:
+        dtype = resolve_index_dtype(n, "auto")
+    targets = rng.integers(0, n - 1, size=(reps, n), dtype=dtype)
+    targets += targets >= np.arange(n, dtype=dtype)[None, :]
+    return targets
+
+
+def per_rep_max_fanin(flat_targets: np.ndarray, reps: int, n: int) -> np.ndarray:
+    """Max per-node fan-in of each replication for one round's contacts.
+
+    ``flat_targets`` holds rep-offset flat indices (``rep * n + target``)
+    of every contact that *arrived*; one bincount covers all reps.
+    """
+    counts = np.bincount(flat_targets, minlength=reps * n)
+    return counts.reshape(reps, n).max(axis=1)
+
+
+def resolve_sources(
+    source: Optional[int], reps: int, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Per-replication source indices: a fixed node, or (``source=None``,
+    Theorem 19's setting) a uniformly random node per replication."""
+    if source is None:
+        return rng.integers(0, n, size=reps, dtype=np.int64)
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for n={n}")
+    return np.full(reps, int(source), dtype=np.int64)

@@ -561,6 +561,60 @@ def _parse_clause(kind: str, window: str, args: str) -> Event:
     raise ValueError(f"unknown event kind {kind!r}")
 
 
+def format_schedule(schedule: AdversitySchedule) -> str:
+    """Render a schedule back into :func:`parse_schedule`'s grammar.
+
+    The exact inverse of parsing: ``parse_schedule(format_schedule(s))``
+    equals ``s`` for every schedule the grammar can express (pinned by the
+    Hypothesis round-trip property in ``tests/test_schedule_properties.py``).
+    Events with explicit ``indices`` have no spec-string form and raise
+    ``ValueError`` — use the Python API for those.
+    """
+    return ",".join(_format_event(ev) for ev in schedule.events)
+
+
+def _format_event(ev: Event) -> str:
+    if isinstance(ev, CrashAt):
+        _require_count(ev, "crash")
+        clause = f"crash@{ev.round}:{_format_count(ev.count)}"
+        return clause if ev.pattern == "random" else f"{clause}:{ev.pattern}"
+    if isinstance(ev, ReviveAt):
+        _require_count(ev, "revive")
+        return f"revive@{ev.round}:{_format_count(ev.count)}"
+    if isinstance(ev, CrashTrickle):
+        clause = f"trickle{_format_window(ev.start, ev.stop)}:{ev.rate!r}"
+        return clause if ev.kind == "bernoulli" else f"{clause}:{ev.kind}"
+    if isinstance(ev, MessageLoss):
+        return f"loss{_format_window(ev.start, ev.stop)}:{ev.p!r}"
+    if isinstance(ev, Blackout):
+        _require_count(ev, "blackout")
+        clause = f"blackout@{ev.start}-{ev.stop}:{_format_count(ev.count)}"
+        return clause if ev.pattern == "random" else f"{clause}:{ev.pattern}"
+    raise TypeError(f"{ev!r} is not an adversity event")
+
+
+def _require_count(ev, kind: str) -> None:
+    if getattr(ev, "indices", None) is not None:
+        raise ValueError(
+            f"{kind} events with explicit indices have no spec-string form"
+        )
+
+
+def _format_count(count: Count) -> str:
+    # repr round-trips floats exactly through float(); ints print plainly.
+    return repr(float(count)) if isinstance(count, float) else str(int(count))
+
+
+def _format_window(start: int, stop: Optional[int]) -> str:
+    """The ``@A-B`` / ``@A`` window suffix; rounds [0, None) — the default
+    window — formats as no suffix at all, exactly as parsed."""
+    if start == 0 and stop is None:
+        return ""
+    if stop is None:
+        return f"@{start}"
+    return f"@{start}-{stop}"
+
+
 def _parse_window(window: str, default):
     if not window:
         return default

@@ -51,11 +51,89 @@ class ModelViolation(RuntimeError):
     """An operation broke a random-phone-call model rule."""
 
 
+class BufferPool:
+    """Reusable scratch arrays for the engine's per-round concatenations.
+
+    Lifecycle
+    ---------
+    A pool is **owned by a replication context** (one
+    :class:`~repro.core.broadcast.ReplicationEngine`, or any caller that
+    hands the same pool to successive :class:`Simulator` instances) and
+    lives for as many executions as the owner runs.  Within one committed
+    round the engine asks the pool for scratch space via :meth:`take`;
+    the pool keeps one backing array per ``name`` (grown geometrically,
+    never shrunk) and returns an **exact-size view** of it.  Nothing is
+    ever zeroed: every byte of a view handed out is overwritten by the
+    engine before it is read (``np.concatenate(..., out=view)`` fills the
+    whole view), so stale data from a previous round — or a previous
+    *replication* — can never alias into fresh accounting.  That
+    no-stale-reads contract is what the reuse-poisoning test in
+    ``tests/test_replication.py`` pins: it fills every backing array with
+    garbage between replications and asserts bit-identical metrics.
+
+    Views are only valid until the next :meth:`take` with the same name
+    (the engine finishes with each view inside a single ``commit``).  A
+    pool is single-threaded state; parallel sweeps give each worker
+    process its own pool.  Pooling changes *where* intermediate arrays
+    live, never their values — the pooled and pool-free paths are
+    bit-identical, which is exactly what lets ``broadcast()`` default to
+    no pool while replication suites reuse one.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict = {}
+
+    def take(self, name: str, size: int, dtype=np.int64) -> np.ndarray:
+        """An exact-``size`` view of the (grown-to-fit) buffer ``name``.
+
+        The contents are unspecified — callers must fully overwrite the
+        view before reading it back.
+        """
+        buf = self._buffers.get(name)
+        if buf is None or len(buf) < size or buf.dtype != np.dtype(dtype):
+            capacity = max(size, 2 * len(buf) if buf is not None else size)
+            buf = np.empty(capacity, dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:size]
+
+    def poison(self, fill: int = -(2**31) + 1) -> None:
+        """Overwrite every held buffer with ``fill`` (tests only): any
+        consumer that reads pooled bytes it did not write this round will
+        produce garbage the reuse-poisoning test can detect."""
+        for buf in self._buffers.values():
+            buf.fill(fill)
+
+    def nbytes(self) -> int:
+        """Total bytes currently held (for memory budget reporting)."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+
+def _gather(arrays: "List[np.ndarray]", pool: "Optional[BufferPool]", name: str) -> np.ndarray:
+    """Concatenate per-op index arrays, reusing pooled scratch space.
+
+    Single-array rounds skip the copy entirely; with a pool the result
+    lands in an exact-size view of a reused buffer (see
+    :class:`BufferPool` for why exact-size views make stale-data aliasing
+    impossible).  Values are identical in all three shapes.
+    """
+    arrays = [a for a in arrays if len(a)]
+    if not arrays:
+        return np.empty(0, dtype=np.int64)
+    if len(arrays) == 1:
+        return arrays[0]
+    if pool is None:
+        return np.concatenate(arrays)
+    total = sum(len(a) for a in arrays)
+    out = pool.take(name, total, dtype=np.int64)
+    np.concatenate(arrays, out=out)
+    return out
+
+
 @dataclass
 class _PushOp:
     srcs: np.ndarray
     dsts: np.ndarray
-    bits_per_msg: np.ndarray  # parallel to srcs
+    bits_per_msg: "int | np.ndarray"  # scalar, or array parallel to srcs
     arrived: np.ndarray  # bool per push: reached an alive target (fan-in)
     counts_initiation: bool = True
 
@@ -64,19 +142,45 @@ class _PushOp:
 class _PullOp:
     srcs: np.ndarray
     dsts: np.ndarray
-    bits_per_response: np.ndarray  # parallel to srcs
+    bits_per_response: "int | np.ndarray"  # scalar, or array parallel to srcs
     responds: np.ndarray  # bool per pull: a response was sent (charged)
     arrived: np.ndarray  # bool per pull: request reached an alive target (fan-in)
     counts_initiation: bool = True
 
 
-def _as_bits_array(bits, count: int) -> np.ndarray:
-    """Broadcast a scalar or per-message array of bit sizes to ``count``."""
-    arr = np.asarray(bits, dtype=np.int64)
+def _as_bits(bits, count: int) -> "int | np.ndarray":
+    """Normalise a scalar or per-message array of bit sizes.
+
+    Scalars stay scalars (the common case — the commit path multiplies
+    instead of materialising and summing an all-equal array); per-message
+    arrays are validated against ``count``.
+    """
+    arr = np.asarray(bits)
     if arr.ndim == 0:
-        return np.full(count, int(arr), dtype=np.int64)
+        return int(arr)
     if arr.shape != (count,):
         raise ValueError(f"bits array has shape {arr.shape}, expected ({count},)")
+    return arr.astype(np.int64, copy=False)
+
+
+def _bits_total(bits: "int | np.ndarray", count: int) -> int:
+    """Total bits of ``count`` messages (scalar and per-message shapes)."""
+    if isinstance(bits, int):
+        return bits * count
+    return int(bits.sum())
+
+
+def _as_index_array(indices) -> np.ndarray:
+    """Validate an index operand, preserving its dtype.
+
+    The engine is index-dtype-agnostic: int32 arrays from a memory-lean
+    :class:`~repro.sim.network.Network` and the historical int64 arrays
+    flow through identically (numpy upcasts where they meet).  Non-integer
+    input — e.g. a Python list — is converted to int64 as before.
+    """
+    arr = np.asarray(indices)
+    if arr.dtype.kind != "i":
+        arr = arr.astype(np.int64)
     return arr
 
 
@@ -96,7 +200,14 @@ class PullDelivery:
 
 
 class Round:
-    """Builder for one synchronous round.  Use via ``Simulator.round()``."""
+    """Builder for one synchronous round.  Use via ``Simulator.round()``.
+
+    Declared operand arrays are borrowed, not copied, on the all-alive
+    fast path: the round keeps references to them until :meth:`commit`
+    charges the metrics, so callers must treat arrays they passed to
+    :meth:`push`/:meth:`pull` as frozen until the round closes (reuse
+    scratch buffers *across* rounds, not within one).
+    """
 
     def __init__(self, sim: "Simulator", label: Optional[str] = None) -> None:
         self._sim = sim
@@ -147,14 +258,22 @@ class Round:
         sources are dropped entirely (a dead node does nothing); pushes to
         dead targets — and pushes lost to an active message-loss window —
         are sent (and charged) but not delivered.
+
+        The round may hold **references** to ``srcs``/``dsts`` (not
+        copies) until it commits; callers must not mutate the arrays they
+        passed in before the round closes.  The returned delivery arrays
+        are always private copies.
         """
-        srcs = np.asarray(srcs, dtype=np.int64)
-        dsts = np.asarray(dsts, dtype=np.int64)
+        srcs = _as_index_array(srcs)
+        dsts = _as_index_array(dsts)
         if srcs.shape != dsts.shape:
             raise ValueError("srcs and dsts must be parallel arrays")
-        bits = _as_bits_array(bits_per_msg, len(srcs))
+        bits = _as_bits(bits_per_msg, len(srcs))
         alive_src = self._sim.net.alive[srcs]
-        srcs, dsts, bits = srcs[alive_src], dsts[alive_src], bits[alive_src]
+        if not alive_src.all():
+            srcs, dsts = srcs[alive_src], dsts[alive_src]
+            if not isinstance(bits, int):
+                bits = bits[alive_src]
         delivered = self._arrival_mask(dsts)
         dyn = self._sim.dynamics
         if dyn is not None:
@@ -193,12 +312,16 @@ class Round:
         declared* (a dead-source pull is simply never answered), so callers
         can always zip it with their input arrays — whether or not their
         pre-filtering is up to date with a dynamics timeline's crashes.
+
+        As with :meth:`push`, the round may hold references to the input
+        arrays until it commits — do not mutate them before the round
+        closes.  The ``answered`` mask is a private array.
         """
-        srcs = np.asarray(srcs, dtype=np.int64)
-        dsts = np.asarray(dsts, dtype=np.int64)
+        srcs = _as_index_array(srcs)
+        dsts = _as_index_array(dsts)
         if srcs.shape != dsts.shape:
             raise ValueError("srcs and dsts must be parallel arrays")
-        bits = _as_bits_array(bits_per_response, len(srcs))
+        bits = _as_bits(bits_per_response, len(srcs))
         if responds is None:
             responds = np.ones(len(srcs), dtype=bool)
         responds = np.asarray(responds, dtype=bool)
@@ -208,12 +331,9 @@ class Round:
         all_sources_alive = bool(alive_src.all())
         if not all_sources_alive:
             declared_count = len(srcs)
-            srcs, dsts, responds, bits = (
-                srcs[alive_src],
-                dsts[alive_src],
-                responds[alive_src],
-                bits[alive_src],
-            )
+            srcs, dsts, responds = srcs[alive_src], dsts[alive_src], responds[alive_src]
+            if not isinstance(bits, int):
+                bits = bits[alive_src]
         arrived = self._arrival_mask(dsts)
         dyn = self._sim.dynamics
         masks = dyn.pull_survival(len(dsts)) if dyn is not None else None
@@ -250,9 +370,7 @@ class Round:
         initiators = [op.srcs for op in self._pushes if op.counts_initiation] + [
             op.srcs for op in self._pulls if op.counts_initiation
         ]
-        all_init = (
-            np.concatenate(initiators) if initiators else np.empty(0, dtype=np.int64)
-        )
+        all_init = _gather(initiators, sim.pool, "initiators")
         init_counts = np.bincount(all_init, minlength=n) if len(all_init) else np.zeros(n, dtype=np.int64)
         if sim.check_model and len(all_init):
             worst = int(init_counts.max())
@@ -271,22 +389,24 @@ class Round:
         pushes = push_bits = 0
         for op in self._pushes:
             pushes += len(op.srcs)
-            push_bits += int(op.bits_per_msg.sum())
+            push_bits += _bits_total(op.bits_per_msg, len(op.srcs))
         pull_requests = pull_responses = pull_bits = 0
         for op in self._pulls:
             pull_requests += len(op.srcs)
             answered = int(op.responds.sum())
             pull_responses += answered
-            pull_bits += int(op.bits_per_response[op.responds].sum())
+            if isinstance(op.bits_per_response, int):
+                pull_bits += op.bits_per_response * answered
+            else:
+                pull_bits += int(op.bits_per_response[op.responds].sum())
 
         all_arrived = [op.dsts[op.arrived] for op in self._pushes] + [
             op.dsts[op.arrived] for op in self._pulls
         ]
+        arrived = _gather(all_arrived, sim.pool, "arrived")
         max_fanin = 0
-        if all_arrived:
-            arrived = np.concatenate(all_arrived)
-            if len(arrived):
-                max_fanin = int(np.bincount(arrived, minlength=n).max())
+        if len(arrived):
+            max_fanin = int(np.bincount(arrived, minlength=n).max())
 
         sim.metrics.record_round(
             pushes=pushes,
@@ -332,6 +452,11 @@ class Simulator:
         commits (round 0's immediately, here), and bulk ops consult the
         driver for message-loss masks.  ``None`` (default) keeps the
         engine on the untouched static path.
+    pool:
+        Optional :class:`BufferPool` of reusable per-round scratch arrays.
+        ``None`` (default) allocates fresh intermediates every round — the
+        zero-pooling path.  A replication suite hands the same pool to
+        every execution; pooled and pool-free results are bit-identical.
     """
 
     def __init__(
@@ -341,12 +466,14 @@ class Simulator:
         metrics: Optional[Metrics] = None,
         check_model: bool = True,
         dynamics: "Optional[DynamicsDriver]" = None,
+        pool: Optional[BufferPool] = None,
     ) -> None:
         self.net = net
         self.rng = rng
         self.metrics = metrics if metrics is not None else Metrics(net.n)
         self.check_model = check_model
         self.dynamics = dynamics
+        self.pool = pool
         if dynamics is not None:
             dynamics.begin_round(self.metrics.rounds)
 

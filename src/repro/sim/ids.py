@@ -51,19 +51,62 @@ class IdSpace:
         object.__setattr__(self, "size", size)
         object.__setattr__(self, "bits", max(1, math.ceil(math.log2(size))))
 
-    def assign(self, rng: np.random.Generator) -> np.ndarray:
+    def assign(
+        self, rng: np.random.Generator, out: "np.ndarray | None" = None
+    ) -> np.ndarray:
         """Draw ``n`` distinct uids uniformly from the space.
 
         Returns an ``int64`` array of length ``n``.  Uses rejection-free
         sampling: draw with a safety margin and deduplicate, retrying the
-        (very unlikely) shortfall.
+        (very unlikely) shortfall.  The dedup is fully vectorised but
+        consumes exactly the same RNG draws, in the same order, as the
+        scalar reference implementation (:meth:`assign_reference`), so the
+        two are bit-identical — ``tests/test_ids.py`` pins the equivalence.
+
+        ``out`` (an int64 array of length ``n``) receives the uids in
+        place, letting :meth:`repro.sim.network.Network.reset` reuse its
+        allocation across replications.
         """
         space = self.size
+        if out is None:
+            out = np.empty(self.n, dtype=np.int64)
+        elif out.shape != (self.n,) or out.dtype != np.int64:
+            raise ValueError(f"out must be an int64 array of shape ({self.n},)")
         if space <= 4 * self.n:
             # Tiny spaces (only reachable with exponent=1 and small n):
             # a random permutation of the full space, truncated.
+            out[:] = rng.permutation(space)[: self.n]
+            return out
+        filled = 0
+        while filled < self.n:
+            need = self.n - filled
+            draw = rng.integers(0, space, size=2 * need + 16, dtype=np.int64)
+            # In a polynomial space duplicates occur with probability
+            # ~2/n, so first cheaply test for them (one sort) and only
+            # fall back to the order-preserving dedup when they exist.
+            if not _has_duplicates(draw):
+                vals = draw
+            else:
+                # Keep each value's first occurrence, in draw order —
+                # exactly what the scalar loop kept.
+                _, first = np.unique(draw, return_index=True)
+                vals = draw[np.sort(first)]
+            if filled:
+                vals = vals[~np.isin(vals, out[:filled])]
+            take = min(len(vals), need)
+            out[filled : filled + take] = vals[:take]
+            filled += take
+        return out
+
+    def assign_reference(self, rng: np.random.Generator) -> np.ndarray:
+        """The original scalar-loop uid assignment, kept as the executable
+        specification of :meth:`assign` (the equivalence test replays both
+        on the same seeds) and as the faithful pre-scale-tier baseline for
+        ``benchmarks/bench_scale.py``'s rebuild-per-seed loop."""
+        space = self.size
+        if space <= 4 * self.n:
             return rng.permutation(space)[: self.n].astype(np.int64)
-        chosen: set[int] = set()
+        chosen: set = set()
         out = np.empty(self.n, dtype=np.int64)
         filled = 0
         while filled < self.n:
@@ -79,6 +122,12 @@ class IdSpace:
                 if filled == self.n:
                     break
         return out
+
+
+def _has_duplicates(values: np.ndarray) -> bool:
+    """Whether ``values`` contains any repeated entry (one sort, no dict)."""
+    s = np.sort(values)
+    return bool((s[1:] == s[:-1]).any())
 
 
 def id_bits(n: int, exponent: int = DEFAULT_SPACE_EXPONENT) -> int:

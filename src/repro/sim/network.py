@@ -26,6 +26,26 @@ from repro.sim.messages import MessageSizes
 from repro.sim.rng import SeedLike, make_rng
 
 
+def resolve_index_dtype(n: int, index_dtype: "np.dtype | str | None") -> np.dtype:
+    """Normalise an ``index_dtype`` knob.
+
+    ``None`` keeps the historical ``int64``; ``"auto"`` selects the
+    narrowest signed integer dtype that can index ``n`` nodes (``int32``
+    whenever ``n < 2**31``, the memory-lean mode); an explicit dtype is
+    validated against ``n``.
+    """
+    if index_dtype is None:
+        return np.dtype(np.int64)
+    if isinstance(index_dtype, str) and index_dtype == "auto":
+        return np.dtype(np.int32 if n < 2**31 else np.int64)
+    dtype = np.dtype(index_dtype)
+    if dtype.kind != "i":
+        raise ValueError(f"index_dtype must be a signed integer dtype, got {dtype}")
+    if n - 1 > np.iinfo(dtype).max:
+        raise ValueError(f"index_dtype {dtype} cannot index n={n} nodes")
+    return dtype
+
+
 class Network:
     """A complete ``n``-node network with random unique addresses.
 
@@ -40,6 +60,15 @@ class Network:
         model is a property of the network instance.
     id_space_exponent:
         Exponent of the polynomial ID space.
+    index_dtype:
+        dtype of the node-index arrays this network hands out
+        (:meth:`random_targets`, :meth:`alive_indices`).  ``None`` (the
+        default) keeps the historical ``int64``; ``"auto"`` picks
+        ``int32`` whenever ``n < 2**31`` — the memory-lean mode, which
+        halves the footprint of every index array derived from the
+        network.  Random draws are always made at ``int64`` and then
+        narrowed, so the RNG stream — and therefore every simulation
+        result — is bit-identical across index dtypes.
     """
 
     def __init__(
@@ -49,10 +78,12 @@ class Network:
         *,
         rumor_bits: int = 256,
         id_space_exponent: int = 3,
+        index_dtype: "np.dtype | str | None" = None,
     ) -> None:
         if n < 2:
             raise ValueError(f"a network needs at least 2 nodes, got n={n}")
         self.n = int(n)
+        self.index_dtype = resolve_index_dtype(self.n, index_dtype)
         self.id_space = IdSpace(self.n, id_space_exponent)
         self.uid = self.id_space.assign(make_rng(rng))
         self.alive = np.ones(self.n, dtype=bool)
@@ -62,6 +93,21 @@ class Network:
         self._liveness_epoch = 0
         self._alive_cache_epoch = -1
         self._alive_cache: Optional[np.ndarray] = None
+
+    def reset(self, rng: SeedLike = 0) -> "Network":
+        """Re-seed this network in place, reusing every allocation.
+
+        Equivalent to constructing ``Network(n, rng, ...)`` with the same
+        shape parameters — same uids, same all-alive liveness — but the
+        ``uid`` and ``alive`` arrays (the only O(n) state) are rewritten
+        rather than reallocated, so a replication suite pays construction
+        cost once instead of once per seed.  The liveness epoch advances,
+        invalidating every per-epoch cache held by consumers.
+        """
+        self.id_space.assign(make_rng(rng), out=self.uid)
+        self.alive.fill(True)
+        self._liveness_epoch += 1
+        return self
 
     # ------------------------------------------------------------------
     # Liveness / failures
@@ -121,7 +167,9 @@ class Network:
         read-only, like ``alive`` itself.
         """
         if self._alive_cache_epoch != self._liveness_epoch:
-            self._alive_cache = np.flatnonzero(self.alive)
+            self._alive_cache = np.flatnonzero(self.alive).astype(
+                self.index_dtype, copy=False
+            )
             self._alive_cache_epoch = self._liveness_epoch
         return self._alive_cache
 
@@ -170,14 +218,18 @@ class Network:
         *other* node, so callers pass their source indices here.  The
         draw stays a single vectorised sample: pick from ``n - 1`` slots
         and shift the ones at or above the excluded index up by one.
+
+        Draws are always made at ``int64`` (so the RNG stream is the same
+        for every index dtype) and narrowed to ``index_dtype`` on return.
         """
         if exclude is None:
-            return rng.integers(0, self.n, size=count, dtype=np.int64)
-        exclude = np.asarray(exclude, dtype=np.int64)
+            targets = rng.integers(0, self.n, size=count, dtype=np.int64)
+            return targets.astype(self.index_dtype, copy=False)
+        exclude = np.asarray(exclude)
         if exclude.shape != (count,):
             raise ValueError(
                 f"exclude has shape {exclude.shape}, expected ({count},)"
             )
         targets = rng.integers(0, self.n - 1, size=count, dtype=np.int64)
         targets += targets >= exclude
-        return targets
+        return targets.astype(self.index_dtype, copy=False)

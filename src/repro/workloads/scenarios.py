@@ -20,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.analysis.runner import RunRecord, RunSpec, execute
+from repro.analysis.runner import RunRecord, RunSpec, execute, replicate_spec
+from repro.analysis.stats import ReplicationSummary
 from repro.core.broadcast import broadcast
 from repro.core.result import AlgorithmReport
 from repro.registry import get_algorithm
@@ -47,6 +48,12 @@ class Scenario:
     failures: float = 0
     failure_pattern: str = "random"
     schedule: "AdversitySchedule | str | None" = None
+    #: Default replication count for :func:`replicate_suite`.
+    reps: int = 1
+    #: Heavy (large-n) presets are skipped by whole-catalogue sweeps and
+    #: must be requested by name — they exist for the scale tier, not for
+    #: smoke tests.
+    heavy: bool = False
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -65,8 +72,8 @@ class Scenario:
         # Normalise preset names / spec strings to a frozen schedule.
         object.__setattr__(self, "schedule", resolve_schedule(self.schedule))
 
-    def run_spec(self, seed: int = 0) -> RunSpec:
-        """Compile to one executor job."""
+    def run_spec(self, seed: int = 0, reps: int = 1, engine: str = "auto") -> RunSpec:
+        """Compile to one executor job (``reps > 1``: a replication job)."""
         return RunSpec(
             algorithm=self.algorithm,
             n=self.n,
@@ -75,6 +82,8 @@ class Scenario:
             failures=self.failures,
             failure_pattern=self.failure_pattern,
             schedule=self.schedule,
+            reps=reps,
+            engine=engine,
             kwargs=dict(self.kwargs),
         )
 
@@ -229,14 +238,49 @@ for _scenario in [
         message_bits=512,
         schedule="flaky-start",
     ),
+    # ------------------------------------------------------------------
+    # Scale tier (heavy): production-sized networks, run by name through
+    # the replication layer — excluded from whole-catalogue smoke sweeps.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="planet-scale",
+        description=(
+            "A million-node (2^20) PUSH-PULL broadcast — the scale at "
+            "which the w.h.p. claims become visible; replications run "
+            "through the vectorised batch executor."
+        ),
+        n=2**20,
+        algorithm="push-pull",
+        message_bits=256,
+        reps=5,
+        heavy=True,
+    ),
+    Scenario(
+        name="mega-cluster",
+        description=(
+            "A quarter-million-node (2^18) Cluster2 broadcast on the "
+            "memory-lean reset engine — optimal message cost at "
+            "production scale."
+        ),
+        n=2**18,
+        algorithm="cluster2",
+        message_bits=512,
+        reps=3,
+        heavy=True,
+    ),
 ]:
     register_scenario(_scenario)
 del _scenario
 
 
-def scenario_names() -> List[str]:
-    """Registered scenario names, sorted."""
-    return sorted(SCENARIOS)
+def scenario_names(*, include_heavy: bool = True) -> List[str]:
+    """Registered scenario names, sorted; ``include_heavy=False`` drops
+    the large-n scale-tier presets (what whole-catalogue sweeps use)."""
+    return sorted(
+        name
+        for name, sc in SCENARIOS.items()
+        if include_heavy or not sc.heavy
+    )
 
 
 def get_scenario(name: str) -> Scenario:
@@ -271,12 +315,13 @@ def run_suite(
 ) -> List[SuiteRecord]:
     """Sweep a scenario × seed grid through the job executor.
 
-    ``names`` defaults to the whole catalogue.  Jobs fan out over
+    ``names`` defaults to the whole catalogue *minus* the heavy
+    scale-tier presets (ask for those by name).  Jobs fan out over
     ``workers`` processes (same bit-identical guarantee as
     :func:`repro.analysis.runner.sweep`); results come back
     scenario-major in catalogue order.
     """
-    names = list(names) if names is not None else scenario_names()
+    names = list(names) if names is not None else scenario_names(include_heavy=False)
     seeds = list(seeds)
     cells: List[Tuple[str, RunSpec]] = [
         (name, get_scenario(name).run_spec(seed))
@@ -289,4 +334,46 @@ def run_suite(
     return [
         SuiteRecord(scenario=name, record=rec)
         for (name, _), rec in zip(cells, records)
+    ]
+
+
+@dataclass(frozen=True)
+class SuiteReplication:
+    """One replicated suite cell: a scenario and its streamed aggregate."""
+
+    scenario: str
+    summary: "ReplicationSummary"
+
+
+def replicate_suite(
+    names: Optional[Sequence[str]] = None,
+    reps: Optional[int] = None,
+    *,
+    base_seed: int = 0,
+    engine: str = "auto",
+    workers: int = 1,
+    progress=None,
+) -> "List[SuiteReplication]":
+    """Run every named scenario as a streamed replication suite.
+
+    ``reps`` overrides each scenario's own default replication count;
+    ``names`` defaults to the non-heavy catalogue, like :func:`run_suite`.
+    Cells fan out over ``workers`` processes; within a cell the
+    replications stream through :func:`repro.core.broadcast.run_replications`
+    (vector engine where the algorithm supports it, memory-lean reset
+    engine otherwise), so no cell ever materialises its per-seed records.
+    """
+    names = list(names) if names is not None else scenario_names(include_heavy=False)
+    specs = [
+        get_scenario(name).run_spec(
+            seed=base_seed,
+            reps=reps if reps is not None else max(get_scenario(name).reps, 1),
+            engine=engine,
+        )
+        for name in names
+    ]
+    summaries = execute(specs, workers=workers, progress=progress, job=replicate_spec)
+    return [
+        SuiteReplication(scenario=name, summary=summary)
+        for name, summary in zip(names, summaries)
     ]

@@ -7,6 +7,17 @@ import pytest
 from helpers import build_sim
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-fingerprints",
+        action="store_true",
+        default=False,
+        help="regenerate the pinned engine fingerprints in "
+        "tests/fingerprints/*.json from the current engine (use only "
+        "after an intentional, reviewed change to engine output)",
+    )
+
+
 @pytest.fixture
 def sim256():
     return build_sim(256)

@@ -44,3 +44,47 @@ class TestCommands:
         rc = main(["lower-bound", "--ns", "1024", "--seeds", "2"])
         assert rc == 0
         assert "Theorem 3" in capsys.readouterr().out
+
+
+class TestReplicationFlags:
+    def test_run_reps_streams_and_aggregates(self, capsys):
+        rc = main(
+            ["run", "--n", "512", "--algorithm", "push-pull",
+             "--reps", "5", "--stream"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "rep 5/5" in out  # streamed per-replication lines
+        assert "vector" in out and "spread q50/q90" in out  # summary table
+        assert "5 replications" in out
+
+    def test_run_reps_engine_choice(self, capsys):
+        rc = main(
+            ["run", "--n", "256", "--algorithm", "cluster2",
+             "--reps", "3", "--engine", "reset"]
+        )
+        assert rc == 0
+        assert "reset" in capsys.readouterr().out
+
+    def test_run_reps_with_schedule_falls_back(self, capsys):
+        rc = main(
+            ["run", "--n", "256", "--algorithm", "push-pull",
+             "--reps", "3", "--loss", "0.05"]
+        )
+        assert rc == 0
+        assert "reset" in capsys.readouterr().out
+
+    def test_suite_reps(self, capsys, tmp_path):
+        path = tmp_path / "summaries.json"
+        rc = main(
+            ["suite", "low-latency-smalljob", "--reps", "3",
+             "--json", str(path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "replicated scenario suite" in out
+        import json
+
+        payload = json.loads(path.read_text())
+        assert payload[0]["scenario"] == "low-latency-smalljob"
+        assert payload[0]["summary"]["reps"] == 3

@@ -1,0 +1,151 @@
+"""Property tests for the dynamics spec language (Hypothesis).
+
+Two contracts:
+
+* **Round-trip** — ``parse_schedule`` and ``format_schedule`` are exact
+  inverses over the grammar: parse(format(s)) == s for every expressible
+  schedule, and format(parse(text)) reparses to the same schedule.
+* **Order invariance** — an :class:`AdversitySchedule` behaves as a *set*
+  of events at distinct rounds: shuffling the construction order changes
+  nothing observable (the driver canonicalises by event type and round,
+  not list position).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.broadcast import broadcast
+from repro.sim.dynamics import (
+    AdversitySchedule,
+    Blackout,
+    CrashAt,
+    CrashTrickle,
+    MessageLoss,
+    ReviveAt,
+    format_schedule,
+    parse_schedule,
+)
+
+# ----------------------------------------------------------------------
+# Event strategies (grammar-expressible events only: counts, no indices)
+# ----------------------------------------------------------------------
+
+rounds_ = st.integers(min_value=0, max_value=40)
+counts = st.one_of(
+    st.integers(min_value=0, max_value=1000),
+    st.floats(min_value=0.001, max_value=0.999, allow_nan=False, exclude_max=True),
+)
+patterns = st.sampled_from(["random", "prefix", "smallest-uids"])
+probabilities = st.floats(min_value=0.0, max_value=0.99, allow_nan=False)
+
+
+def windows():
+    return st.tuples(rounds_, st.one_of(st.none(), st.integers(1, 50))).map(
+        lambda w: (w[0], None if w[1] is None else w[0] + w[1])
+    )
+
+
+crash_events = st.builds(CrashAt, round=rounds_, count=counts, pattern=patterns)
+revive_events = st.builds(ReviveAt, round=rounds_, count=counts)
+loss_events = windows().flatmap(
+    lambda w: st.builds(
+        MessageLoss, p=probabilities, start=st.just(w[0]), stop=st.just(w[1])
+    )
+)
+trickle_events = windows().flatmap(
+    lambda w: st.builds(
+        CrashTrickle,
+        rate=st.floats(min_value=0.0, max_value=0.5, allow_nan=False),
+        kind=st.sampled_from(["bernoulli", "poisson"]),
+        start=st.just(w[0]),
+        stop=st.just(w[1]),
+    )
+)
+blackout_events = st.tuples(rounds_, st.integers(1, 20), counts, patterns).map(
+    lambda t: Blackout(start=t[0], stop=t[0] + t[1], count=t[2], pattern=t[3])
+)
+
+events = st.one_of(
+    crash_events, revive_events, loss_events, trickle_events, blackout_events
+)
+schedules = st.lists(events, min_size=0, max_size=6).map(
+    lambda evs: AdversitySchedule(tuple(evs))
+)
+
+
+class TestRoundTrip:
+    @given(schedules)
+    @settings(max_examples=200, deadline=None)
+    def test_parse_format_parse_is_identity(self, schedule):
+        text = format_schedule(schedule)
+        reparsed = parse_schedule(text)
+        assert reparsed == schedule, text
+        # And formatting is stable: a second trip emits the same string.
+        assert format_schedule(reparsed) == text
+
+    @given(schedules)
+    @settings(max_examples=100, deadline=None)
+    def test_format_emits_one_clause_per_event(self, schedule):
+        text = format_schedule(schedule)
+        clauses = [c for c in text.split(",") if c]
+        assert len(clauses) == len(schedule.events)
+
+    def test_documented_example_round_trips(self):
+        text = "loss:0.02,crash@5:0.1,blackout@8-12:64"
+        assert parse_schedule(format_schedule(parse_schedule(text))) == parse_schedule(
+            text
+        )
+
+    def test_indices_events_are_not_expressible(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="no spec-string form"):
+            format_schedule(AdversitySchedule((CrashAt(round=1, indices=(0, 1)),)))
+
+
+# ----------------------------------------------------------------------
+# Order invariance
+# ----------------------------------------------------------------------
+
+#: A pool of events at pairwise-distinct rounds/windows, so the only
+#: degree of freedom a shuffle could exploit is list position.
+_DISTINCT_EVENTS = (
+    CrashAt(round=2, count=3),
+    MessageLoss(p=0.15, start=0, stop=5),
+    CrashTrickle(rate=0.01, start=6, stop=9),
+    Blackout(start=10, stop=12, count=4),
+    ReviveAt(round=13, count=2),
+    MessageLoss(p=0.05, start=14, stop=16),
+)
+
+
+def _fingerprint(report):
+    return (
+        report.rounds,
+        report.messages,
+        report.bits,
+        report.max_fanin,
+        report.informed.tobytes(),
+        report.alive.tobytes(),
+    )
+
+
+class TestOrderInvariance:
+    @given(st.permutations(range(len(_DISTINCT_EVENTS))), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_shuffled_construction_is_behaviourally_identical(self, perm, seed):
+        base = AdversitySchedule(_DISTINCT_EVENTS)
+        shuffled = AdversitySchedule(tuple(_DISTINCT_EVENTS[i] for i in perm))
+        a = broadcast(64, "push-pull", seed=seed, schedule=base)
+        b = broadcast(64, "push-pull", seed=seed, schedule=shuffled)
+        assert _fingerprint(a) == _fingerprint(b)
+
+    def test_driver_tallies_order_invariant(self):
+        base = AdversitySchedule(_DISTINCT_EVENTS)
+        shuffled = AdversitySchedule(tuple(reversed(_DISTINCT_EVENTS)))
+        a = broadcast(128, "push-pull", seed=1, schedule=base)
+        b = broadcast(128, "push-pull", seed=1, schedule=shuffled)
+        for key in ("dyn_crashed", "dyn_revived", "dyn_messages_lost"):
+            assert a.extras[key] == b.extras[key]
