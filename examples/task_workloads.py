@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The task layer: richer workloads on the same gossip engine.
+
+Runs the three built-in non-broadcast tasks — k-rumor all-cast, push-sum
+mean estimation, and min/max dissemination — over both contact patterns
+(uniform PUSH-PULL and Cluster2's direct-addressing structure) and
+compares rounds, messages and final task error.  The punchline is the
+push-sum row: diffusive averaging needs ~log n exchange rounds to reach
+its tolerance, while the cluster transport gathers all the mass to one
+leader and is exact (error ~1e-16) right after construction.
+
+    python examples/task_workloads.py [n] [seed]
+"""
+
+import sys
+
+from repro import broadcast
+from repro.analysis.tables import Table
+
+
+def main() -> None:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 4096
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 0
+
+    table = Table(
+        title=f"Task layer at n={n}: (algorithm x task) through one broadcast() API",
+        columns=["task", "algorithm", "rounds", "msgs/node", "bits/node", "error", "done"],
+        caption=(
+            "error semantics are per task: missing-content fraction for "
+            "k-rumor, max relative error vs the true mean for push-sum, "
+            "fraction not holding the extreme for min-max."
+        ),
+    )
+    for task, task_kwargs in (
+        ("k-rumor", {"k": 8}),
+        ("push-sum", {"tol": 1e-3}),
+        ("min-max", {}),
+    ):
+        for algorithm in ("push-pull", "cluster2"):
+            report = broadcast(
+                n=n,
+                algorithm=algorithm,
+                task=task,
+                task_kwargs=task_kwargs,
+                seed=seed,
+            )
+            table.add(
+                task,
+                algorithm,
+                report.rounds,
+                f"{report.messages_per_node:.2f}",
+                f"{report.bits_per_node:.0f}",
+                f"{report.extras['task_error']:.2e}",
+                report.success,
+            )
+    print(table.render())
+    print()
+    print("And the same API composes with dynamics:")
+    report = broadcast(
+        n=n,
+        algorithm="push-pull",
+        task="push-sum",
+        task_kwargs={"tol": 5e-2},
+        schedule="churn-light",
+        seed=seed,
+    )
+    print(
+        f"  push-sum under churn-light: {report.extras['dyn_crashed']} nodes "
+        f"crashed mid-run, final error {report.extras['task_error']:.3g} "
+        f"(converged={report.extras['converged']})"
+    )
+
+
+if __name__ == "__main__":
+    main()

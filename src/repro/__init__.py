@@ -17,6 +17,8 @@ Layout:
   lower bound);
 * :mod:`repro.baselines` — PUSH/PULL/PUSH-PULL, Karp et al.'s
   median-counter, an Avin–Elsässer reconstruction, and Name-Dropper;
+* :mod:`repro.tasks` — the task layer: k-rumor all-cast, push-sum
+  averaging, min/max dissemination over the same engine and transports;
 * :mod:`repro.analysis` — experiment sweeps, statistics, growth-shape
   fitting, and table rendering;
 * :mod:`repro.workloads` — named scenario presets.
@@ -33,16 +35,23 @@ from repro.core.constants import LAPTOP, PAPER, Profile, get_profile
 from repro.core.result import AlgorithmReport
 from repro.registry import (
     AlgorithmSpec,
+    TaskSpec,
     algorithm_names,
     algorithm_specs,
+    compatible_algorithms,
     get_algorithm,
+    get_task,
     register_algorithm,
+    register_task,
+    supports_task,
+    task_names,
+    task_specs,
 )
 from repro.sim.engine import BufferPool, ModelViolation, Simulator
 from repro.sim.metrics import Metrics
 from repro.sim.network import Network
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AlgorithmReport",
@@ -58,13 +67,20 @@ __all__ = [
     "Profile",
     "ReplicationEngine",
     "Simulator",
+    "TaskSpec",
     "UNCLUSTERED",
     "algorithm_names",
     "algorithm_specs",
     "broadcast",
+    "compatible_algorithms",
     "get_algorithm",
     "get_profile",
+    "get_task",
     "register_algorithm",
+    "register_task",
     "run_replications",
+    "supports_task",
+    "task_names",
+    "task_specs",
     "__version__",
 ]

@@ -1,0 +1,13 @@
+"""Module entry point: ``python -m repro <command> ...``.
+
+Delegates to :mod:`repro.cli` so the package name itself is runnable
+(``python -m repro run --n 4096 --task push-sum``), matching the
+``repro-gossip`` console script.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

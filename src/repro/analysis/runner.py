@@ -51,6 +51,8 @@ class RunSpec:
     failure_pattern: str = "random"
     check_model: bool = True
     schedule: Optional[AdversitySchedule] = None
+    task: str = "broadcast"
+    task_kwargs: Dict[str, Any] = field(default_factory=dict)
     reps: int = 1
     engine: str = "auto"
     kwargs: Dict[str, Any] = field(default_factory=dict)
@@ -66,6 +68,8 @@ class RunSpec:
             failures=self.failures,
             failure_pattern=self.failure_pattern,
             schedule=self.schedule,
+            task=self.task,
+            task_kwargs=dict(self.task_kwargs),
             check_model=self.check_model,
             **self.kwargs,
         )
@@ -83,13 +87,16 @@ class RunSpec:
             failures=self.failures,
             failure_pattern=self.failure_pattern,
             schedule=self.schedule,
+            task=self.task,
+            task_kwargs=dict(self.task_kwargs),
             check_model=self.check_model,
             **self.kwargs,
         )
 
     def describe(self) -> str:
         tail = f" x{self.reps}" if self.reps > 1 else f" seed={self.seed}"
-        return f"{self.algorithm} n={self.n}{tail}"
+        middle = "" if self.task == "broadcast" else f" task={self.task}"
+        return f"{self.algorithm}{middle} n={self.n}{tail}"
 
 
 @dataclass(frozen=True)

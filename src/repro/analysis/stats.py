@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 @dataclass(frozen=True)
@@ -176,6 +176,9 @@ class ReplicationSummary:
     algorithm: str
     n: int
     engine: str = "reset"
+    #: Workload semantics of the replicated configuration (the implicit
+    #: single-rumor broadcast unless a task was requested).
+    task: str = "broadcast"
     metrics: Dict[str, StreamingSummary] = field(
         default_factory=lambda: {m: StreamingSummary() for m in REPLICATION_METRICS}
     )
@@ -191,8 +194,15 @@ class ReplicationSummary:
         bits_per_node: float,
         max_fanin: float,
         success: bool,
+        task_error: Optional[float] = None,
     ) -> None:
-        """Fold one replication's headline figures into the stream."""
+        """Fold one replication's headline figures into the stream.
+
+        ``task_error`` (aggregation tasks only) opens a lazily created
+        ``"task_error"`` stream — broadcast-shaped replications never
+        carry one, so their summaries stay shape-identical to before the
+        task layer.
+        """
         self.reps += 1
         self.successes += bool(success)
         values = {
@@ -202,6 +212,9 @@ class ReplicationSummary:
             "bits_per_node": bits_per_node,
             "max_fanin": max_fanin,
         }
+        if task_error is not None:
+            values["task_error"] = task_error
+            self.metrics.setdefault("task_error", StreamingSummary())
         for name, value in values.items():
             self.metrics[name].push(value)
 
@@ -224,11 +237,12 @@ class ReplicationSummary:
         """Flat dict for result tables."""
         spread = self.metrics["spread_rounds"]
         msgs = self.metrics["messages_per_node"]
-        return {
+        row = {
             "algorithm": self.algorithm,
             "n": self.n,
             "reps": self.reps,
             "engine": self.engine,
+            "task": self.task,
             "spread_mean": round(spread.mean, 3),
             "spread_q50": round(spread.quantile(0.5), 3),
             "spread_q90": round(spread.quantile(0.9), 3),
@@ -236,6 +250,11 @@ class ReplicationSummary:
             "max_fanin": self.metrics["max_fanin"].maximum,
             "success_rate": round(self.success_rate, 4),
         }
+        err = self.metrics.get("task_error")
+        if err is not None:
+            row["task_error_mean"] = err.mean
+            row["task_error_max"] = err.maximum
+        return row
 
     def __str__(self) -> str:
         lo, hi = self.success_interval() if self.reps else (float("nan"),) * 2

@@ -3,10 +3,15 @@
 Every bench renders its experiment as a :class:`Table` — the "rows/series
 the paper reports" artifact required by the reproduction — and writes it
 to ``results/<exp_id>.txt`` so the output survives pytest's capture.
+``fmt="json"`` (or ``fmt="both"``) additionally persists the same rows as
+``results/<exp_id>.json`` — machine-readable records for CI artifact
+consumers, with the identical title/columns/rows content.
 """
 
 from __future__ import annotations
 
+import json
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Sequence
@@ -34,21 +39,73 @@ class Table:
     def render(self) -> str:
         return render_table(self.title, self.columns, self.rows, self.caption)
 
-    def save(self, exp_id: str, directory: Optional[str] = None) -> str:
-        """Write the rendered table to ``<directory>/<exp_id>.txt``."""
+    def to_json(self) -> str:
+        """The table as a JSON document: title, columns, row objects."""
+        records = [
+            {str(col): _json_cell(cell) for col, cell in zip(self.columns, row)}
+            for row in self.rows
+        ]
+        return json.dumps(
+            {
+                "title": self.title,
+                "caption": self.caption,
+                "columns": list(map(str, self.columns)),
+                "rows": records,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def save(
+        self, exp_id: str, directory: Optional[str] = None, fmt: str = "text"
+    ) -> str:
+        """Persist under ``<directory>/<exp_id>``.
+
+        ``fmt``: ``"text"`` (the rendered grid, ``.txt``), ``"json"``
+        (:meth:`to_json`, ``.json``) or ``"both"``.  Returns the path of
+        the last file written.
+        """
+        if fmt not in ("text", "json", "both"):
+            raise ValueError(f"fmt must be 'text', 'json' or 'both', got {fmt!r}")
         directory = directory or RESULTS_DIR
         os.makedirs(directory, exist_ok=True)
-        path = os.path.join(directory, f"{exp_id}.txt")
-        with open(path, "w", encoding="utf-8") as fh:
-            fh.write(self.render() + "\n")
+        path = ""
+        if fmt in ("text", "both"):
+            path = os.path.join(directory, f"{exp_id}.txt")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(self.render() + "\n")
+        if fmt in ("json", "both"):
+            path = os.path.join(directory, f"{exp_id}.json")
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write(self.to_json() + "\n")
         return path
 
-    def emit(self, exp_id: str, directory: Optional[str] = None) -> str:
-        """Print and save; returns the rendered text."""
+    def emit(
+        self, exp_id: str, directory: Optional[str] = None, fmt: str = "text"
+    ) -> str:
+        """Print and save (``fmt`` as in :meth:`save`); returns the text."""
         text = self.render()
         print(text)
-        self.save(exp_id, directory)
+        self.save(exp_id, directory, fmt=fmt)
         return text
+
+
+def _json_cell(cell: Any):
+    """A JSON-serialisable view of one cell (numbers kept, rest via str).
+
+    Non-finite floats become strings: ``json.dumps`` would otherwise emit
+    the non-RFC tokens ``NaN``/``Infinity``, which strict consumers
+    (jq, ``JSON.parse``) reject.
+    """
+    if isinstance(cell, bool) or cell is None:
+        return cell
+    if isinstance(cell, int):
+        return cell
+    if isinstance(cell, float):
+        return cell if math.isfinite(cell) else str(cell)
+    if getattr(cell, "shape", None) == ():  # numpy scalar
+        return _json_cell(cell.item())
+    return str(cell)
 
 
 def _fmt(cell: Any) -> str:

@@ -14,9 +14,14 @@ import math
 import numpy as np
 
 from repro.core.result import AlgorithmReport, report_from_sim
-from repro.registry import register_algorithm, register_batch_runner
+from repro.registry import (
+    register_algorithm,
+    register_batch_runner,
+    register_task_transport,
+)
 from repro.sim.batch import (
     BatchOutcome,
+    batched_push_sum,
     per_rep_max_fanin,
     random_targets_batch,
     resolve_sources,
@@ -24,6 +29,7 @@ from repro.sim.batch import (
 from repro.sim.engine import Simulator
 from repro.sim.protocol import VectorProtocol, run_protocol
 from repro.sim.trace import Trace, null_trace
+from repro.tasks.transports import run_uniform_task
 
 
 class PushPullProtocol(VectorProtocol):
@@ -164,3 +170,21 @@ def batched_push_pull(
         informed_counts=informed_counts,
         success=informed_counts == n,
     )
+
+
+@register_task_transport("push-pull")
+def push_pull_task_transport(
+    sim: Simulator, state, *, trace: Trace = None, max_rounds: int = None
+) -> AlgorithmReport:
+    """PUSH-PULL's contact pattern generalised to any task: content
+    holders push, the empty-handed pull (mass-exchange tasks put
+    everyone on the push lane)."""
+    return run_uniform_task(
+        sim, state, mode="push-pull", max_rounds=max_rounds, trace=trace
+    )
+
+
+#: ``run_replications(..., task="push-sum", engine="vector")`` entry
+#: point: the batched ``(R, n)`` push-sum executor of
+#: :mod:`repro.sim.batch` under the push-pull (uniform exchange) pattern.
+register_batch_runner("push-pull", task="push-sum")(batched_push_sum)

@@ -14,10 +14,11 @@ import math
 import numpy as np
 
 from repro.core.result import AlgorithmReport, report_from_sim
-from repro.registry import register_algorithm
+from repro.registry import register_algorithm, register_task_transport
 from repro.sim.engine import Simulator
 from repro.sim.protocol import VectorProtocol, run_protocol
 from repro.sim.trace import Trace, null_trace
+from repro.tasks.transports import run_uniform_task
 
 
 class PushProtocol(VectorProtocol):
@@ -80,4 +81,15 @@ def uniform_push(
         )
     return report_from_sim(
         "push", sim, protocol.informed, trace, completion_round=result.completion_round
+    )
+
+
+@register_task_transport("push")
+def push_task_transport(
+    sim: Simulator, state, *, trace: Trace = None, max_rounds: int = None
+) -> AlgorithmReport:
+    """PUSH's contact pattern generalised to any task: content holders
+    push, everyone else stays idle (no pull lane)."""
+    return run_uniform_task(
+        sim, state, mode="push", max_rounds=max_rounds, trace=trace
     )

@@ -1,12 +1,13 @@
-"""Command-line entry point: ``python -m repro.cli <command> ...``.
+"""Command-line entry point: ``python -m repro <command> ...``.
 
 Commands:
 
 * ``run`` — one broadcast with full phase breakdown; ``--churn``,
   ``--loss`` and ``--schedule`` add a dynamic-adversity timeline;
-  ``--reps N`` streams N seeded replications through the scale tier
-  (``--stream`` prints each as it passes, ``--engine`` picks the
-  executor);
+  ``--task``/``--task-arg`` select the workload semantics (k-rumor
+  all-cast, push-sum averaging, ...); ``--reps N`` streams N seeded
+  replications through the scale tier (``--stream`` prints each as it
+  passes, ``--engine`` picks the executor);
 * ``sweep`` — an algorithm x n x seed grid, rendered as a table
   (``--workers N`` fans the jobs out over N processes);
 * ``scenario`` — a named workload preset;
@@ -14,8 +15,9 @@ Commands:
   (``--json PATH`` dumps the records for CI artifacts; ``--reps N``
   switches the cells to streamed replication aggregates);
 * ``lower-bound`` — the Section 6 feasibility experiment;
-* ``list-algorithms`` / ``list-scenarios`` / ``list-schedules`` — the
-  registry catalogues (``list`` prints all three).
+* ``list-algorithms`` / ``list-tasks`` / ``list-scenarios`` /
+  ``list-schedules`` — the registry catalogues (``list`` prints all
+  four).
 """
 
 from __future__ import annotations
@@ -24,13 +26,13 @@ import argparse
 import json
 import sys
 from dataclasses import asdict
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.analysis.runner import aggregate, sweep
 from repro.analysis.tables import Table
 from repro.core.broadcast import REPLICATION_ENGINES, broadcast, run_replications
 from repro.core.lower_bound import min_feasible_rounds, theorem3_bound
-from repro.registry import algorithm_names, algorithm_specs
+from repro.registry import algorithm_names, algorithm_specs, compatible_algorithms, task_names, task_specs
 from repro.sim.dynamics import (
     SCHEDULES,
     AdversitySchedule,
@@ -46,6 +48,39 @@ from repro.workloads.scenarios import (
     run_suite,
     scenario_names,
 )
+
+
+def _version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro-gossip")
+    except Exception:
+        import repro
+
+        return repro.__version__
+
+
+def _parse_task_arg(text: str) -> "tuple[str, Any]":
+    """Parse one ``--task-arg KEY=VALUE`` (ints/floats auto-coerced)."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"task argument {text!r} is not KEY=VALUE"
+        )
+    value: Any = raw
+    for cast in (int, float):
+        try:
+            value = cast(raw)
+            break
+        except ValueError:
+            continue
+    return key, value
+
+
+def _task_kwargs_from_args(args: argparse.Namespace) -> Dict[str, Any]:
+    return dict(getattr(args, "task_arg", None) or [])
 
 
 def _schedule_from_args(args: argparse.Namespace) -> Optional[AdversitySchedule]:
@@ -90,7 +125,7 @@ def _replication_table(summaries, title: str) -> Table:
     table = Table(
         title=title,
         columns=[
-            "algorithm", "n", "reps", "engine", "spread mean",
+            "algorithm", "task", "n", "reps", "engine", "spread mean",
             "spread q50/q90", "msgs/node", "maxΔ", "success (wilson)",
         ],
     )
@@ -99,6 +134,7 @@ def _replication_table(summaries, title: str) -> Table:
         lo, hi = s.success_interval()
         table.add(
             s.algorithm,
+            s.task,
             s.n,
             s.reps,
             s.engine,
@@ -134,6 +170,8 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
         message_bits=args.message_bits,
         failures=args.failures,
         schedule=_schedule_from_args(args),
+        task=args.task,
+        task_kwargs=_task_kwargs_from_args(args),
         consume=consume,
     )
     print(_replication_table([summary], f"{args.reps} replications").render())
@@ -156,10 +194,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
         message_bits=args.message_bits,
         failures=args.failures,
         schedule=_schedule_from_args(args),
+        task=args.task,
+        task_kwargs=_task_kwargs_from_args(args),
     )
     print(report)
     print()
     print(report.metrics.phase_report())
+    if "task_error" in report.extras:
+        print()
+        print(
+            f"task {report.extras['task']}: error={report.extras['task_error']:.3g} "
+            f"converged={report.extras['converged']}"
+        )
     if "schedule" in report.extras:
         print()
         print(f"adversity: {report.extras['schedule']}")
@@ -307,6 +353,15 @@ def _cmd_list_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_tasks(args: argparse.Namespace) -> int:
+    print("tasks:")
+    for spec in task_specs():
+        knobs = f" [{', '.join(spec.kwargs)}]" if spec.kwargs else ""
+        print(f"  {spec.name} ({spec.category}){knobs}: {spec.doc}")
+        print(f"    algorithms: {', '.join(compatible_algorithms(spec.name))}")
+    return 0
+
+
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     print("scenarios:")
     for name in scenario_names():
@@ -327,6 +382,7 @@ def _cmd_list_schedules(args: argparse.Namespace) -> int:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     _cmd_list_algorithms(args)
+    _cmd_list_tasks(args)
     _cmd_list_scenarios(args)
     _cmd_list_schedules(args)
     return 0
@@ -337,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Optimal Gossip with Direct Addressing — reproduction CLI",
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run one broadcast (or a replication suite)")
@@ -345,6 +404,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--seed", type=int, default=0)
     p_run.add_argument("--message-bits", type=int, default=256)
     p_run.add_argument("--failures", type=int, default=0)
+    p_run.add_argument(
+        "--task",
+        default="broadcast",
+        choices=task_names(),
+        help="workload semantics (see list-tasks); the algorithm must "
+        "declare compatibility",
+    )
+    p_run.add_argument(
+        "--task-arg",
+        type=_parse_task_arg,
+        action="append",
+        metavar="KEY=VALUE",
+        help="task knob, repeatable (e.g. --task-arg k=8, --task-arg tol=1e-4)",
+    )
     p_run.add_argument(
         "--reps",
         type=int,
@@ -418,13 +491,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_la = sub.add_parser("list-algorithms", help="the algorithm registry")
     p_la.set_defaults(func=_cmd_list_algorithms)
 
+    p_lt = sub.add_parser("list-tasks", help="the task catalogue")
+    p_lt.set_defaults(func=_cmd_list_tasks)
+
     p_ls = sub.add_parser("list-scenarios", help="the scenario catalogue")
     p_ls.set_defaults(func=_cmd_list_scenarios)
 
     p_lsc = sub.add_parser("list-schedules", help="the adversity-schedule catalogue")
     p_lsc.set_defaults(func=_cmd_list_schedules)
 
-    p_list = sub.add_parser("list", help="list algorithms, scenarios and schedules")
+    p_list = sub.add_parser(
+        "list", help="list algorithms, tasks, scenarios and schedules"
+    )
     p_list.set_defaults(func=_cmd_list)
     return parser
 

@@ -10,15 +10,33 @@ the paper's and every baseline — self-registers an
 :class:`~repro.registry.AlgorithmSpec`, so sweeps in
 :mod:`repro.analysis.runner` iterate the same catalogue uniformly and
 third-party algorithms plug in without touching this module.
+
+``task`` selects the workload semantics (:mod:`repro.tasks`): the
+default ``"broadcast"`` is the paper's single-rumor setting on the
+untouched legacy path (bit-identical output for a fixed seed); any other
+registered task — ``"k-rumor"``, ``"push-sum"``, ``"min-max"`` — builds
+a :class:`~repro.tasks.state.TaskState` from its own seed stream and
+runs it through the algorithm's registered task transport::
+
+    >>> broadcast(n=4096, algorithm="cluster2", task="push-sum",
+    ...           schedule="churn-light", seed=7)   # doctest: +SKIP
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.core.constants import LAPTOP, Profile, get_profile
 from repro.core.result import AlgorithmReport
-from repro.registry import AlgorithmSpec, algorithm_names, get_algorithm
+from repro.registry import (
+    BROADCAST_TASK,
+    AlgorithmSpec,
+    IncompatibleTaskError,
+    algorithm_names,
+    compatible_algorithms,
+    get_algorithm,
+    get_task,
+)
 from repro.sim.batch import DEFAULT_BATCH_ELEMS, batch_size
 from repro.sim.dynamics import AdversitySchedule, resolve_schedule
 from repro.sim.engine import BufferPool, Simulator
@@ -43,6 +61,20 @@ __all__ = [
 ]
 
 
+def _check_task(spec: AlgorithmSpec, task: str) -> None:
+    """Validate an (algorithm, task) pair before any network is built.
+
+    The implicit broadcast task is exempt: its (historical) gate is
+    ``AlgorithmSpec.run``'s broadcastable check, with its own message.
+    """
+    get_task(task)  # raises UnknownTaskError on a miss
+    if task != BROADCAST_TASK and not spec.supports_task(task):
+        raise IncompatibleTaskError(
+            f"algorithm {spec.name!r} cannot run task {task!r}; compatible "
+            f"algorithms: {compatible_algorithms(task)}"
+        )
+
+
 def broadcast(
     n: int,
     algorithm: str = "cluster2",
@@ -53,6 +85,8 @@ def broadcast(
     failures: float = 0,
     failure_pattern: str = "random",
     schedule: "AdversitySchedule | str | None" = None,
+    task: str = BROADCAST_TASK,
+    task_kwargs: Optional[Dict[str, Any]] = None,
     profile: "Profile | str" = LAPTOP,
     trace: Optional[Trace] = None,
     check_model: bool = True,
@@ -90,6 +124,14 @@ def broadcast(
         blackouts and message loss applied at round boundaries.  ``None``
         or an empty schedule leaves the engine on the untouched static
         path (bit-identical output for a fixed seed).
+    task:
+        Workload semantics (:func:`repro.registry.task_names`): the
+        default ``"broadcast"`` is the legacy single-rumor path; other
+        tasks run through the algorithm's registered task transport and
+        must be compatible (:func:`repro.registry.supports_task`).
+    task_kwargs:
+        Extra knobs for the task's state factory (e.g. ``{"k": 8}`` for
+        ``k-rumor``, ``{"tol": 1e-4}`` for ``push-sum``).
     profile:
         Constant-resolution profile or its name.
     check_model:
@@ -100,6 +142,7 @@ def broadcast(
         e.g. ``delta=64`` for ``cluster3``).
     """
     spec = get_algorithm(algorithm)
+    _check_task(spec, task)
     if isinstance(profile, str):
         profile = get_profile(profile)
     if source is not None and not 0 <= source < n:
@@ -114,6 +157,8 @@ def broadcast(
         failures=failures,
         failure_pattern=failure_pattern,
         schedule=resolve_schedule(schedule),
+        task=task,
+        task_kwargs=task_kwargs,
         profile=profile,
         trace=trace,
         check_model=check_model,
@@ -136,6 +181,8 @@ def _run_on_network(
     check_model: bool,
     pool: Optional["BufferPool"],
     algorithm_kwargs: dict,
+    task: str = BROADCAST_TASK,
+    task_kwargs: Optional[Dict[str, Any]] = None,
 ) -> AlgorithmReport:
     """Execute one seeded broadcast on an already-built network.
 
@@ -143,7 +190,10 @@ def _run_on_network(
     network, no pool) and :class:`ReplicationEngine` (reset network,
     shared pool): every seed-derived stream is identical in both shapes,
     which is what makes reset-engine replications bit-identical to
-    independent :func:`broadcast` calls.
+    independent :func:`broadcast` calls.  Non-broadcast tasks derive
+    their initial state from the dedicated ``"task"`` seed stream — the
+    legacy streams are untouched, so the default task stays bit-identical
+    to the pre-task-layer engine.
     """
     if failures:
         apply_pattern(net, failure_pattern, failures, derive_seed(seed, "fail"))
@@ -163,7 +213,17 @@ def _run_on_network(
         dynamics=dynamics,
         pool=pool,
     )
-    report = spec.run(sim, source, profile, trace, **algorithm_kwargs)
+    if task == BROADCAST_TASK:
+        report = spec.run(sim, source, profile, trace, **algorithm_kwargs)
+    else:
+        state = get_task(task).build(
+            net,
+            make_rng(derive_seed(seed, "task")),
+            message_bits=net.sizes.rumor_bits,
+            source=source,
+            **(task_kwargs or {}),
+        )
+        report = spec.run_task(sim, state, profile, trace, **algorithm_kwargs)
     report.extras.setdefault("seed", seed)
     report.extras.setdefault("failures", failures)
     report.extras.setdefault("source", int(source))
@@ -206,6 +266,8 @@ class ReplicationEngine:
         failures: float = 0,
         failure_pattern: str = "random",
         schedule: "AdversitySchedule | str | None" = None,
+        task: str = BROADCAST_TASK,
+        task_kwargs: Optional[Dict[str, Any]] = None,
         profile: "Profile | str" = LAPTOP,
         check_model: bool = True,
         index_dtype: "str | None" = "auto",
@@ -213,11 +275,14 @@ class ReplicationEngine:
     ) -> None:
         self.n = int(n)
         self.spec = get_algorithm(algorithm)
+        _check_task(self.spec, task)
         self.source = source
         self.message_bits = message_bits
         self.failures = failures
         self.failure_pattern = failure_pattern
         self.schedule = resolve_schedule(schedule)
+        self.task = task
+        self.task_kwargs = dict(task_kwargs or {})
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
         self.check_model = check_model
         self.index_dtype = index_dtype
@@ -252,6 +317,8 @@ class ReplicationEngine:
             failures=self.failures,
             failure_pattern=self.failure_pattern,
             schedule=self.schedule,
+            task=self.task,
+            task_kwargs=self.task_kwargs,
             profile=self.profile,
             trace=trace,
             check_model=self.check_model,
@@ -276,6 +343,8 @@ def run_replications(
     failures: float = 0,
     failure_pattern: str = "random",
     schedule: "AdversitySchedule | str | None" = None,
+    task: str = BROADCAST_TASK,
+    task_kwargs: Optional[Dict[str, Any]] = None,
     profile: "Profile | str" = LAPTOP,
     check_model: bool = True,
     consume: Optional[Callable[[dict], None]] = None,
@@ -302,10 +371,12 @@ def run_replications(
         ``broadcast(seed=base_seed + i)``.
     ``"vector"``
         The batched ``(R, n)`` executor (:mod:`repro.sim.batch`) for
-        algorithms that registered a batch runner; zero-adversity only.
-        Statistically equivalent to (not stream-identical with) the
-        sequential engines; chunked so no work array exceeds
-        ``batch_elems`` elements regardless of ``reps``.
+        algorithms that registered a batch runner *for the requested
+        task* (push-pull has one for ``"broadcast"`` and ``"push-sum"``);
+        zero-adversity only.  Statistically equivalent to (not
+        stream-identical with) the sequential engines; chunked so no
+        work array exceeds ``batch_elems`` elements regardless of
+        ``reps``.
     ``"rebuild"``
         The historical loop — a fresh :func:`broadcast` per seed.  Kept
         as the baseline the scale benchmarks measure against.
@@ -323,18 +394,24 @@ def run_replications(
             f"unknown replication engine {engine!r}; choose from {REPLICATION_ENGINES}"
         )
     spec = get_algorithm(algorithm)
+    _check_task(spec, task)
+    if task != BROADCAST_TASK:
+        # Uniform knob validation across engines: the vector path calls a
+        # batch runner directly (never TaskSpec.build), so validate here.
+        get_task(task).validate_kwargs(task_kwargs)
     resolved = resolve_schedule(schedule)
-    vector_ok = spec.batch_runner is not None and resolved is None and not failures
+    batch_runner = spec.batch_runner_for(task)
+    vector_ok = batch_runner is not None and resolved is None and not failures
     if engine == "vector" and not vector_ok:
         raise ValueError(
-            f"vector engine unavailable for {algorithm!r} here: it needs a "
-            "registered batch runner and a zero-adversity, zero-failure "
-            "configuration"
+            f"vector engine unavailable for {algorithm!r} (task {task!r}) "
+            "here: it needs a registered batch runner for the task and a "
+            "zero-adversity, zero-failure configuration"
         )
     if engine == "auto":
         engine = "vector" if vector_ok else "reset"
 
-    summary = ReplicationSummary(algorithm=algorithm, n=n, engine=engine)
+    summary = ReplicationSummary(algorithm=algorithm, n=n, engine=engine, task=task)
 
     def feed(rep: int, seed: Optional[int], scalars: dict) -> None:
         summary.observe(**scalars)
@@ -346,13 +423,13 @@ def run_replications(
         while done < reps:
             take = batch_size(n, reps - done, batch_elems)
             rng = make_rng(derive_seed(base_seed, "vector", done))
-            outcome = spec.batch_runner(
+            outcome = batch_runner(
                 n,
                 take,
                 rng,
                 message_bits=message_bits,
                 source=source,
-                **algorithm_kwargs,
+                **{**(task_kwargs or {}), **algorithm_kwargs},
             )
             for i in range(outcome.reps):
                 feed(done + i, None, outcome.rep_scalars(i))
@@ -368,6 +445,8 @@ def run_replications(
             failures=failures,
             failure_pattern=failure_pattern,
             schedule=resolved,
+            task=task,
+            task_kwargs=task_kwargs,
             profile=profile,
             check_model=check_model,
             **algorithm_kwargs,
@@ -385,6 +464,8 @@ def run_replications(
                 failures=failures,
                 failure_pattern=failure_pattern,
                 schedule=resolved,
+                task=task,
+                task_kwargs=task_kwargs,
                 profile=profile,
                 check_model=check_model,
                 **algorithm_kwargs,
@@ -399,7 +480,7 @@ def run_replications(
 
 def report_scalars(report: AlgorithmReport) -> dict:
     """One report's figures in :meth:`ReplicationSummary.observe` shape."""
-    return {
+    scalars = {
         "rounds": report.rounds,
         "spread_rounds": report.spread_rounds,
         "messages_per_node": report.messages_per_node,
@@ -407,3 +488,6 @@ def report_scalars(report: AlgorithmReport) -> dict:
         "max_fanin": report.max_fanin,
         "success": report.success,
     }
+    if "task_error" in report.extras:
+        scalars["task_error"] = float(report.extras["task_error"])
+    return scalars

@@ -33,9 +33,10 @@ from repro.core.primitives import cluster_share_rumor
 from repro.core.pull_phase import unclustered_nodes_pull
 from repro.core.result import AlgorithmReport, report_from_sim
 from repro.core.square import square_clusters_v1
-from repro.registry import register_algorithm
+from repro.registry import register_algorithm, register_task_transport
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace, null_trace
+from repro.tasks.transports import run_cluster_task
 
 
 @register_algorithm(
@@ -94,3 +95,28 @@ def cluster1(
         merge_reps=merge_reps,
         final_clusters=cl.cluster_count(),
     )
+
+
+@register_task_transport("cluster1")
+def cluster1_task_transport(
+    sim: Simulator,
+    state,
+    *,
+    profile: Profile = LAPTOP,
+    params: Optional[Cluster1Params] = None,
+    trace: Trace = None,
+) -> AlgorithmReport:
+    """Cluster1's structure as a task transport: the simple construction
+    (grow → square → merge → pull) assembles the spanning cluster, then
+    the generic gather/mix/scatter/catch-up pipeline of
+    :func:`repro.tasks.transports.run_cluster_task` computes the task
+    over it."""
+    p = params if params is not None else profile.cluster1(sim.net.n)
+
+    def build(sim: Simulator, cl: Clustering, trace: Trace) -> None:
+        grow_initial_clusters_v1(sim, cl, p, trace)
+        square_clusters_v1(sim, cl, p, trace)
+        merge_all_clusters(sim, cl, reps=p.merge_reps, trace=trace)
+        unclustered_nodes_pull(sim, cl, p.pull_rounds, trace)
+
+    return run_cluster_task(sim, state, build, trace=trace)

@@ -35,9 +35,10 @@ from repro.core.primitives import cluster_share_rumor
 from repro.core.pull_phase import bounded_cluster_push, unclustered_nodes_pull
 from repro.core.result import AlgorithmReport, report_from_sim
 from repro.core.square import square_clusters_v2
-from repro.registry import register_algorithm
+from repro.registry import register_algorithm, register_task_transport
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace, null_trace
+from repro.tasks.transports import run_cluster_task
 
 
 @register_algorithm(
@@ -92,3 +93,35 @@ def cluster2(
         merge_reps=merge_reps,
         final_clusters=cl.cluster_count(),
     )
+
+
+@register_task_transport("cluster2")
+def cluster2_task_transport(
+    sim: Simulator,
+    state,
+    *,
+    profile: Profile = LAPTOP,
+    params: Optional[Cluster2Params] = None,
+    trace: Trace = None,
+) -> AlgorithmReport:
+    """Cluster2's structure as a task transport: the message-thrifty
+    construction (grow → square → merge → bounded push → pull) assembles
+    the spanning cluster, then the generic gather/mix/scatter/catch-up
+    pipeline of :func:`repro.tasks.transports.run_cluster_task` computes
+    the task over it."""
+    p = params if params is not None else profile.cluster2(sim.net.n)
+
+    def build(sim: Simulator, cl: Clustering, trace: Trace) -> None:
+        grow_initial_clusters_v2(sim, cl, p, trace)
+        square_clusters_v2(sim, cl, p, trace)
+        merge_all_clusters(sim, cl, reps=p.merge_reps, trace=trace)
+        bounded_cluster_push(
+            sim,
+            cl,
+            growth_stop=p.bounded_push_growth_stop,
+            rounds_cap=p.bounded_push_rounds_cap,
+            trace=trace,
+        )
+        unclustered_nodes_pull(sim, cl, p.pull_rounds, trace)
+
+    return run_cluster_task(sim, state, build, trace=trace)

@@ -1,4 +1,4 @@
-"""First-class algorithm registry: the library's plugin layer.
+"""First-class algorithm *and task* registry: the library's plugin layer.
 
 Every broadcast algorithm — the paper's Cluster1/2/3 and each baseline —
 self-registers at import time with :func:`register_algorithm`, declaring
@@ -10,6 +10,17 @@ registry is then the single source of truth for
   picklable :class:`~repro.analysis.runner.RunSpec` jobs),
 * scenario validation in :mod:`repro.workloads.scenarios`, and
 * the CLI's ``list-algorithms`` catalogue.
+
+Tasks (:mod:`repro.tasks`) register here too, via :func:`register_task`:
+a :class:`TaskSpec` names a *workload semantics* — what per-node state the
+protocol carries, what a message means, and when the execution is done
+(single-rumor broadcast, k-rumor all-cast, push-sum averaging, ...).  An
+algorithm opts into non-broadcast tasks by registering a **task
+transport** (:func:`register_task_transport`): a runner that drives any
+:class:`~repro.tasks.state.TaskState` over that algorithm's contact
+pattern.  Compatibility of an ``(algorithm, task)`` pair is then a
+registry question — :func:`supports_task` — answered before any network
+is built.
 
 Adding an algorithm is one decorator — no edits to the dispatch core::
 
@@ -52,6 +63,22 @@ class UnknownAlgorithmError(ValueError):
     """Lookup of a name nobody registered."""
 
 
+class DuplicateTaskError(ValueError):
+    """Two registrations claimed the same task name."""
+
+
+class UnknownTaskError(ValueError):
+    """Lookup of a task name nobody registered."""
+
+
+class IncompatibleTaskError(ValueError):
+    """An (algorithm, task) pair with no registered transport."""
+
+
+#: The implicit default task: single-rumor broadcast, the paper's setting.
+BROADCAST_TASK = "broadcast"
+
+
 @dataclass(frozen=True)
 class AlgorithmSpec:
     """One registered algorithm: identity, entry point, and calling shape.
@@ -81,6 +108,15 @@ class AlgorithmSpec:
         source, **knobs) -> BatchOutcome`` advancing R replications in
         ``(R, n)`` arrays.  ``None`` (most algorithms) means replication
         suites fall back to the memory-lean sequential engine.
+    task_transport:
+        Optional task runner ``fn(sim, state, *, trace=..., [profile=...,]
+        **knobs) -> AlgorithmReport`` driving an arbitrary
+        :class:`~repro.tasks.state.TaskState` over this algorithm's
+        contact pattern.  ``None`` means the algorithm only supports the
+        default ``"broadcast"`` task.
+    task_batch_runners:
+        Vectorised replication entry points for non-broadcast tasks,
+        keyed by task name (``batch_runner`` covers ``"broadcast"``).
     """
 
     name: str
@@ -91,6 +127,8 @@ class AlgorithmSpec:
     kwargs: Tuple[str, ...] = ()
     doc: str = ""
     batch_runner: Optional[Callable[..., Any]] = None
+    task_transport: Optional[Callable[..., Any]] = None
+    task_batch_runners: Tuple[Tuple[str, Callable[..., Any]], ...] = ()
 
     def run(self, sim, source, profile, trace, **algorithm_kwargs):
         """Invoke the runner with the uniform dispatch convention."""
@@ -104,6 +142,42 @@ class AlgorithmSpec:
         if self.uses_profile:
             call["profile"] = profile
         return self.runner(sim, source, **call)
+
+    def supports_task(self, task: str) -> bool:
+        """Whether this algorithm can run workload ``task``.
+
+        Every broadcastable algorithm supports the implicit
+        ``"broadcast"`` task; any other task needs a registered
+        transport.
+        """
+        if task == BROADCAST_TASK:
+            return self.broadcastable
+        return self.task_transport is not None
+
+    def run_task(self, sim, state, profile, trace, **algorithm_kwargs):
+        """Drive a non-broadcast task state through this algorithm's
+        transport (same keyword convention as :meth:`run`)."""
+        if self.task_transport is None:
+            raise IncompatibleTaskError(
+                f"algorithm {self.name!r} has no task transport; it only "
+                f"runs the {BROADCAST_TASK!r} task"
+            )
+        call: Dict[str, Any] = dict(algorithm_kwargs)
+        call["trace"] = trace
+        if self.uses_profile:
+            call["profile"] = profile
+        report = self.task_transport(sim, state, **call)
+        # Transports are shared between algorithms (e.g. one cluster
+        # transport behind Cluster1 and Cluster2); the registry knows the
+        # public name, so it stamps the report.
+        report.algorithm = self.name
+        return report
+
+    def batch_runner_for(self, task: str) -> Optional[Callable[..., Any]]:
+        """The vectorised replication runner for ``task`` (None if none)."""
+        if task == BROADCAST_TASK:
+            return self.batch_runner
+        return dict(self.task_batch_runners).get(task)
 
 
 _REGISTRY: Dict[str, AlgorithmSpec] = {}
@@ -119,6 +193,10 @@ _BUILTIN_MODULES: Tuple[str, ...] = (
     "repro.baselines.median_counter",
     "repro.baselines.avin_elsasser",
     "repro.baselines.name_dropper",
+    # The built-in task catalogue (k-rumor, push-sum, min/max) — loaded
+    # with the algorithms so that (algorithm, task) compatibility is
+    # resolvable as soon as anyone touches the registry.
+    "repro.tasks.builtin",
 )
 
 _builtins_loaded = False
@@ -204,7 +282,9 @@ def register_spec(spec: AlgorithmSpec) -> AlgorithmSpec:
     return spec
 
 
-def register_batch_runner(name: str) -> Callable[[Callable], Callable]:
+def register_batch_runner(
+    name: str, task: str = BROADCAST_TASK
+) -> Callable[[Callable], Callable]:
     """Attach a vectorised replication runner to algorithm ``name``.
 
     Used as a decorator *after* the algorithm itself is registered (the
@@ -213,6 +293,11 @@ def register_batch_runner(name: str) -> Callable[[Callable], Callable]:
         @register_batch_runner("push-pull")
         def batched_push_pull(n, reps, rng, *, message_bits=256, source=0,
                               max_rounds=None) -> BatchOutcome: ...
+
+    ``task`` selects which workload the runner vectorises: the default is
+    the implicit broadcast task; ``task="push-sum"`` (for example) makes
+    the runner the ``vector``-engine entry point for
+    ``run_replications(..., task="push-sum")`` on this algorithm.
 
     Returns the function unchanged.
     """
@@ -223,7 +308,42 @@ def register_batch_runner(name: str) -> Callable[[Callable], Callable]:
             raise UnknownAlgorithmError(
                 f"cannot attach a batch runner to unregistered algorithm {name!r}"
             )
-        _REGISTRY[name] = dataclasses.replace(spec, batch_runner=fn)
+        if task == BROADCAST_TASK:
+            _REGISTRY[name] = dataclasses.replace(spec, batch_runner=fn)
+        else:
+            runners = dict(spec.task_batch_runners)
+            runners[task] = fn
+            _REGISTRY[name] = dataclasses.replace(
+                spec, task_batch_runners=tuple(sorted(runners.items()))
+            )
+        return fn
+
+    return decorate
+
+
+def register_task_transport(name: str) -> Callable[[Callable], Callable]:
+    """Attach a task transport to algorithm ``name`` (decorator).
+
+    The transport is what makes the algorithm compatible with every
+    non-broadcast task: it receives a built
+    :class:`~repro.tasks.state.TaskState` and drives it over the
+    algorithm's own contact pattern (uniform random calls for the gossip
+    baselines, the clustering structure for the paper's algorithms)::
+
+        @register_task_transport("push-pull")
+        def push_pull_transport(sim, state, *, trace=None, max_rounds=None):
+            return run_uniform_task(sim, state, ...)
+
+    Returns the function unchanged.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        spec = _REGISTRY.get(name)
+        if spec is None:
+            raise UnknownAlgorithmError(
+                f"cannot attach a task transport to unregistered algorithm {name!r}"
+            )
+        _REGISTRY[name] = dataclasses.replace(spec, task_transport=fn)
         return fn
 
     return decorate
@@ -262,3 +382,147 @@ def algorithm_specs(*, broadcastable_only: bool = False) -> List[AlgorithmSpec]:
 def algorithm_names(*, broadcastable_only: bool = True) -> List[str]:
     """Registered names; by default only those ``broadcast()`` accepts."""
     return [s.name for s in algorithm_specs(broadcastable_only=broadcastable_only)]
+
+
+# ----------------------------------------------------------------------
+# Task registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One registered workload semantics.
+
+    Parameters
+    ----------
+    name:
+        Public task name (what ``broadcast(task=...)``, scenarios and the
+        CLI use).
+    factory:
+        ``fn(net, rng, *, message_bits, source, **knobs) -> TaskState`` —
+        builds the initial per-node state on an already-built (and
+        already-failed, if the run has pre-run failures) network.  The
+        default ``"broadcast"`` task has no factory: it is the legacy
+        single-rumor path, dispatched by :func:`repro.core.broadcast`
+        itself.
+    category:
+        ``"dissemination"`` (completion = everyone holds some content) or
+        ``"aggregation"`` (completion = everyone's estimate of a global
+        function is good enough).
+    kwargs:
+        Names of the extra keyword knobs the factory accepts (documented
+        surface for scenario validation and ``list-tasks``).
+    doc:
+        One-line description for catalogues.
+    """
+
+    name: str
+    factory: Optional[Callable[..., Any]] = None
+    category: str = "dissemination"
+    kwargs: Tuple[str, ...] = ()
+    doc: str = ""
+
+    def validate_kwargs(self, task_kwargs: Optional[Dict[str, Any]]) -> None:
+        """Reject knobs the task does not declare (uniform error for every
+        execution engine, including the batched vector path)."""
+        unknown = set(task_kwargs or {}) - set(self.kwargs)
+        if unknown:
+            raise ValueError(
+                f"task {self.name!r} does not accept {sorted(unknown)}; "
+                f"declared knobs are {sorted(self.kwargs)}"
+            )
+
+    def build(self, net, rng, *, message_bits: int, source, **task_kwargs):
+        """Construct the initial :class:`~repro.tasks.state.TaskState`."""
+        if self.factory is None:
+            raise ValueError(
+                f"task {self.name!r} is the implicit legacy path and has no "
+                "state factory; repro.core.broadcast dispatches it directly"
+            )
+        self.validate_kwargs(task_kwargs)
+        return self.factory(
+            net, rng, message_bits=message_bits, source=source, **task_kwargs
+        )
+
+
+_TASKS: Dict[str, TaskSpec] = {}
+
+#: The implicit single-rumor task, present from import so that the
+#: catalogue is never empty and ``get_task("broadcast")`` always works.
+_TASKS[BROADCAST_TASK] = TaskSpec(
+    name=BROADCAST_TASK,
+    factory=None,
+    category="dissemination",
+    doc="Single-rumor broadcast — the paper's setting (the default task).",
+)
+
+
+def register_task(spec: TaskSpec) -> TaskSpec:
+    """Register a task spec (extension point for third-party tasks).
+
+    Same replace-vs-conflict rule as :func:`register_spec`: re-registering
+    an identical factory (an ``importlib.reload``) replaces the stale
+    spec; a different factory claiming a taken name is a conflict.
+    """
+    existing = _TASKS.get(spec.name)
+    if existing is not None:
+        same_factory = (
+            getattr(existing.factory, "__module__", None)
+            == getattr(spec.factory, "__module__", object())
+            and getattr(existing.factory, "__qualname__", None)
+            == getattr(spec.factory, "__qualname__", object())
+        )
+        if not same_factory:
+            raise DuplicateTaskError(
+                f"task {spec.name!r} is already registered "
+                f"(by {existing.factory!r})"
+            )
+    _TASKS[spec.name] = spec
+    return spec
+
+
+def unregister_task(name: str) -> None:
+    """Remove a task registration (tests and interactive use).  The
+    implicit broadcast task cannot be removed."""
+    if name == BROADCAST_TASK:
+        raise ValueError("the implicit broadcast task cannot be unregistered")
+    _TASKS.pop(name, None)
+
+
+def get_task(name: str) -> TaskSpec:
+    """Look a task up by name (raises :class:`UnknownTaskError` on miss)."""
+    ensure_builtins_loaded()
+    try:
+        return _TASKS[name]
+    except KeyError:
+        raise UnknownTaskError(
+            f"unknown task {name!r}; choose from {sorted(_TASKS)}"
+        ) from None
+
+
+def task_specs() -> List[TaskSpec]:
+    """All registered task specs, sorted by name."""
+    ensure_builtins_loaded()
+    return sorted(_TASKS.values(), key=lambda s: s.name)
+
+
+def task_names() -> List[str]:
+    """Registered task names, sorted."""
+    return [s.name for s in task_specs()]
+
+
+def supports_task(algorithm: str, task: str) -> bool:
+    """Whether the ``(algorithm, task)`` pair has an execution path.
+
+    Unknown algorithm or task names raise (they are lookup errors, not
+    incompatibilities).
+    """
+    spec = get_algorithm(algorithm)
+    get_task(task)
+    return spec.supports_task(task)
+
+
+def compatible_algorithms(task: str) -> List[str]:
+    """Names of the algorithms that can run workload ``task``."""
+    get_task(task)
+    return [s.name for s in algorithm_specs() if s.supports_task(task)]

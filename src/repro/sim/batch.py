@@ -29,6 +29,7 @@ rather than by fingerprint.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -64,6 +65,9 @@ class BatchOutcome:
     max_fanin: np.ndarray
     informed_counts: np.ndarray
     success: np.ndarray
+    #: Per-rep final task error (aggregation tasks only; None for the
+    #: broadcast-shaped outcomes).
+    task_error: Optional[np.ndarray] = None
 
     @property
     def reps(self) -> int:
@@ -77,7 +81,7 @@ class BatchOutcome:
     def rep_scalars(self, rep: int) -> dict:
         """One replication's figures in :meth:`ReplicationSummary.observe`
         keyword shape."""
-        return {
+        scalars = {
             "rounds": int(self.rounds[rep]),
             "spread_rounds": self.spread_rounds(rep),
             "messages_per_node": float(self.messages[rep]) / self.n,
@@ -85,6 +89,9 @@ class BatchOutcome:
             "max_fanin": int(self.max_fanin[rep]),
             "success": bool(self.success[rep]),
         }
+        if self.task_error is not None:
+            scalars["task_error"] = float(self.task_error[rep])
+        return scalars
 
 
 #: Signature of a registered batch runner.
@@ -128,3 +135,113 @@ def resolve_sources(
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range for n={n}")
     return np.full(reps, int(source), dtype=np.int64)
+
+
+# ----------------------------------------------------------------------
+# Push-sum averaging (task "push-sum"), batched
+# ----------------------------------------------------------------------
+
+#: Bits per scalar in a push-sum payload; one message carries the
+#: ``(value, weight)`` pair, i.e. ``2 * PUSH_SUM_VALUE_BITS`` bits.
+PUSH_SUM_VALUE_BITS = 64
+
+
+def push_sum_round_cap(n: int, tol: float) -> int:
+    """The push-sum schedule: ``O(log n + log 1/tol)`` rounds (Kempe et
+    al., FOCS 2003) with generous laptop-scale constants — the driver
+    stops early at convergence, so slack only pads the failure path."""
+    if not 0 < tol < 1:
+        raise ValueError(f"tol must be in (0, 1), got {tol}")
+    return 4 * (
+        math.ceil(math.log2(max(n, 2))) + math.ceil(math.log2(1.0 / tol))
+    ) + 24
+
+
+def batched_push_sum(
+    n: int,
+    reps: int,
+    rng: np.random.Generator,
+    *,
+    message_bits: int = 256,
+    source: "int | None" = 0,
+    tol: float = 1e-3,
+    value_bits: int = PUSH_SUM_VALUE_BITS,
+    max_rounds: "int | None" = None,
+) -> BatchOutcome:
+    """Kempe-style push-sum averaging, ``reps`` replications at once.
+
+    Every node starts with weight 1 and a uniform ``[0, 1)`` value; each
+    round every node keeps half of its ``(value, weight)`` mass and
+    pushes the other half to a uniformly random other node.  A replication
+    completes when every node's estimate ``value/weight`` is within
+    relative error ``tol`` of the true mean; completed replications
+    freeze (no further contacts, no further charges), matching the
+    sequential engine's early stop.
+
+    Accounting matches the engine path: one ``2 * value_bits``-bit
+    message per node per active round, every contact arriving at its
+    target's fan-in.  ``message_bits`` and ``source`` are accepted for
+    the uniform batch-runner signature but unused — push-sum has no rumor
+    and no distinguished source.
+    """
+    del message_bits, source  # uniform batch-runner signature, unused
+    if reps < 1:
+        raise ValueError(f"reps must be positive, got {reps}")
+    cap = max_rounds if max_rounds is not None else push_sum_round_cap(n, tol)
+    bits_per_msg = 2 * int(value_bits)
+
+    values = rng.random((reps, n))
+    mu = values.mean(axis=1)
+    scale = np.maximum(np.abs(mu), 1e-12)
+    v = values.copy()
+    w = np.ones((reps, n))
+
+    rounds = np.zeros(reps, dtype=np.int64)
+    messages = np.zeros(reps, dtype=np.int64)
+    bits = np.zeros(reps, dtype=np.int64)
+    max_fanin = np.zeros(reps, dtype=np.int64)
+    completion = np.full(reps, -1, dtype=np.int64)
+    err = np.abs(v / w - mu[:, None]).max(axis=1) / scale
+
+    active = err > tol
+    completion[~active] = 0
+    for step in range(cap):
+        act = np.flatnonzero(active)
+        if len(act) == 0:
+            break
+        targets = random_targets_batch(rng, len(act), n)
+        local_offsets = (np.arange(len(act), dtype=np.int64) * n)[:, None]
+        flat_t = (targets.astype(np.int64) + local_offsets).ravel()
+
+        v_half = v[act] * 0.5
+        w_half = w[act] * 0.5
+        v_recv = np.bincount(flat_t, weights=v_half.ravel(), minlength=len(act) * n)
+        w_recv = np.bincount(flat_t, weights=w_half.ravel(), minlength=len(act) * n)
+        v[act] = v_half + v_recv.reshape(len(act), n)
+        w[act] = w_half + w_recv.reshape(len(act), n)
+
+        rounds[act] += 1
+        messages[act] += n
+        bits[act] += n * bits_per_msg
+        max_fanin[act] = np.maximum(
+            max_fanin[act], per_rep_max_fanin(flat_t, len(act), n)
+        )
+
+        err[act] = np.abs(v[act] / w[act] - mu[act, None]).max(axis=1) / scale[act]
+        newly_done = act[err[act] <= tol]
+        completion[newly_done] = step + 1
+        active[newly_done] = False
+
+    within = (np.abs(v / w - mu[:, None]) / scale[:, None]) <= tol
+    return BatchOutcome(
+        algorithm="push-pull",
+        n=n,
+        rounds=rounds,
+        completion_round=completion,
+        messages=messages,
+        bits=bits,
+        max_fanin=max_fanin,
+        informed_counts=within.sum(axis=1),
+        success=completion >= 0,
+        task_error=err,
+    )

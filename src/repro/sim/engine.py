@@ -417,6 +417,12 @@ class Round:
             max_fanin=max_fanin,
             max_initiations=int(init_counts.max()) if len(all_init) else 0,
         )
+        # Per-task commit hooks fire on the post-round state but before
+        # the dynamics timeline advances: a hook observes the world the
+        # round actually produced (e.g. a task records its error series),
+        # not the world after the next round's crashes.
+        for hook in sim.commit_hooks:
+            hook(sim)
         # Round boundary: fire the dynamics timeline's events for the next
         # round now, so every computation an algorithm does between this
         # commit and the next one sees a consistent liveness table.
@@ -474,8 +480,18 @@ class Simulator:
         self.check_model = check_model
         self.dynamics = dynamics
         self.pool = pool
+        #: Per-task commit hooks: callables invoked with this simulator
+        #: after every round's metrics are charged (and before the
+        #: dynamics timeline advances).  Empty on the plain broadcast
+        #: path — task transports register observers here.
+        self.commit_hooks: List = []
         if dynamics is not None:
             dynamics.begin_round(self.metrics.rounds)
+
+    def add_commit_hook(self, hook) -> None:
+        """Register a per-round observer ``hook(sim)`` (see
+        ``commit_hooks``); hooks run in registration order."""
+        self.commit_hooks.append(hook)
 
     def round(self, label: Optional[str] = None) -> Round:
         """Open a new synchronous round."""

@@ -71,6 +71,11 @@ class Metrics:
     n: int
     total: PhaseStats = field(default_factory=PhaseStats)
     phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    #: Per-task error trajectory: ``(round, error)`` samples recorded by
+    #: task transports after each committed round (empty for the plain
+    #: broadcast path).  The error semantics are the task's — max relative
+    #: error for push-sum, missing-content fraction for dissemination.
+    error_series: List["tuple[int, float]"] = field(default_factory=list)
     _phase_stack: List[str] = field(default_factory=list)
 
     UNPHASED = "(unphased)"
@@ -125,6 +130,10 @@ class Metrics:
             bucket.bits += push_bits + pull_bits
             bucket.max_fanin = max(bucket.max_fanin, max_fanin)
             bucket.max_initiations = max(bucket.max_initiations, max_initiations)
+
+    def record_error(self, error: float) -> None:
+        """Append one ``(round, error)`` sample to the task error series."""
+        self.error_series.append((self.rounds, float(error)))
 
     # ------------------------------------------------------------------
     # Derived figures

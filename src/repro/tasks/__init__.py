@@ -1,0 +1,34 @@
+"""repro.tasks — the task layer: what a gossip execution computes.
+
+A *task* generalises the implicit single-rumor broadcast: per-node
+initial state, per-round payload semantics, a completion predicate and
+an error metric (:class:`~repro.tasks.state.TaskState`), registered in
+:mod:`repro.registry` as a :class:`~repro.registry.TaskSpec`.  Any
+``(algorithm, task)`` pair with a registered transport runs through the
+ordinary ``broadcast()`` / sweep / replication plumbing::
+
+    from repro import broadcast
+    report = broadcast(n=4096, algorithm="cluster2", task="push-sum",
+                       schedule="churn-light", seed=7)
+    report.extras["task_error"], report.success
+
+Built-ins: ``k-rumor`` (all-cast), ``push-sum`` (mean estimation),
+``min-max`` (extreme dissemination) — see :mod:`repro.tasks.builtin`.
+"""
+
+from repro.tasks.state import (
+    ExtremeState,
+    KRumorState,
+    PushSumState,
+    TaskState,
+)
+from repro.tasks.transports import run_cluster_task, run_uniform_task
+
+__all__ = [
+    "ExtremeState",
+    "KRumorState",
+    "PushSumState",
+    "TaskState",
+    "run_cluster_task",
+    "run_uniform_task",
+]

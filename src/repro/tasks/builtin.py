@@ -1,0 +1,55 @@
+"""The built-in task catalogue.
+
+Importing this module (done lazily by
+:func:`repro.registry.ensure_builtins_loaded`) registers the shipped
+tasks; the implicit ``"broadcast"`` task is registered by the registry
+itself.  Third-party tasks follow the same recipe::
+
+    from repro.registry import TaskSpec, register_task
+    from repro.tasks.state import TaskState
+
+    class QuantileState(TaskState): ...
+
+    register_task(TaskSpec(
+        name="quantile", factory=QuantileState, category="aggregation",
+        kwargs=("q",), doc="Distributed quantile sketch.",
+    ))
+"""
+
+from __future__ import annotations
+
+from repro.registry import TaskSpec, register_task
+from repro.tasks.state import ExtremeState, KRumorState, PushSumState
+
+register_task(
+    TaskSpec(
+        name="k-rumor",
+        factory=KRumorState,
+        category="dissemination",
+        kwargs=("k",),
+        doc="k-source all-cast: everyone must hold all k rumors; "
+        "bit cost scales with rumors carried per message.",
+    )
+)
+
+register_task(
+    TaskSpec(
+        name="push-sum",
+        factory=PushSumState,
+        category="aggregation",
+        kwargs=("tol", "value_bits"),
+        doc="Push-sum averaging (Kempe et al.): value/weight mass pairs; "
+        "done when every estimate is within relative tol of the mean.",
+    )
+)
+
+register_task(
+    TaskSpec(
+        name="min-max",
+        factory=ExtremeState,
+        category="aggregation",
+        kwargs=("mode", "value_bits"),
+        doc="Min/max dissemination: idempotent aggregate, the cheap "
+        "sanity case; done when everyone holds the global extreme.",
+    )
+)

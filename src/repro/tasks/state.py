@@ -1,0 +1,450 @@
+"""Per-node task state: what a gossip execution is *about*.
+
+The engine (:mod:`repro.sim.engine`) moves messages; the algorithms
+decide who calls whom; a :class:`TaskState` decides what the messages
+mean — which per-node content exists at round 0, how content merges when
+a message arrives, when the execution is done and how far from done it
+is.  The built-in states cover the three workload families the task
+layer ships:
+
+* :class:`KRumorState` — k independent rumors, completion = everyone
+  holds all k (all-cast); messages carry the sender's whole rumor set,
+  so bit cost scales with rumors carried.
+* :class:`PushSumState` — Kempe-style ``(value, weight)`` mass pairs;
+  completion = every node's ``value/weight`` estimate within relative
+  ``tol`` of the true mean.  Mass *moves* (a lost message loses mass),
+  which is exactly what makes the task interesting under dynamics.
+* :class:`ExtremeState` — min/max dissemination, the idempotent sanity
+  case: merging is elementwise min (or max), retransmission is free of
+  semantics, and completion = everyone holds the global extreme.
+
+States are transport-agnostic: the same object runs over uniform random
+calls (:func:`repro.tasks.transports.run_uniform_task`) and over the
+paper's cluster structure (:func:`repro.tasks.transports.run_cluster_task`).
+
+Synchronous semantics: a transport brackets every engine round with
+:meth:`TaskState.begin_round` / :meth:`TaskState.end_round`.  Payloads
+and pull responses always read the *snapshot* taken at ``begin_round``,
+and merges apply to the live arrays, so content received in a round is
+never re-transmitted within the same round — the same convention the
+broadcast baselines use.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sim.batch import PUSH_SUM_VALUE_BITS, push_sum_round_cap
+
+#: Weights below this are "no mass": a push-sum node that extracted its
+#: whole mass (cluster gather) holds no estimate until the scatter phase.
+WEIGHT_FLOOR = 1e-12
+
+
+def _uniform_round_cap(n: int) -> int:
+    """The generic uniform-gossip schedule: ``O(log n)`` with the same
+    additive slack the PUSH baseline uses (Pittel's bound shape)."""
+    return math.ceil(math.log2(max(n, 2)) + math.log(max(n, 2))) + 12
+
+
+class TaskState(abc.ABC):
+    """Abstract per-node task state (see the module docstring).
+
+    Subclasses hold numpy arrays of length ``n`` (or ``(n, k)``) and
+    implement the content/merge/evaluation surface the transports drive.
+    ``srcs`` arguments are always sorted unique alive indices (transports
+    build them with ``np.flatnonzero``).
+    """
+
+    #: Registered task name (stamped into reports).
+    task: str = "task"
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+
+    # -- round bracket --------------------------------------------------
+
+    def begin_round(self) -> None:
+        """Snapshot the round-start view payloads and responses read."""
+
+    def end_round(self) -> None:
+        """Post-merge bookkeeping (e.g. refresh push-sum estimates)."""
+
+    # -- content and payloads ------------------------------------------
+
+    @abc.abstractmethod
+    def has_content(self, nodes: np.ndarray) -> np.ndarray:
+        """Per-node mask: can these nodes answer a pull / push something?"""
+
+    @abc.abstractmethod
+    def payload_bits(self, nodes: np.ndarray) -> "int | np.ndarray":
+        """Bits of a full-content message from each of ``nodes``."""
+
+    def all_push(self) -> bool:
+        """Uniform-transport role rule: True when every alive node pushes
+        each round (mass exchange); False splits roles by content —
+        holders push, the empty-handed pull."""
+        return False
+
+    # -- push path ------------------------------------------------------
+
+    @abc.abstractmethod
+    def begin_push(self, srcs: np.ndarray):
+        """Stage an outgoing message per src; returns an opaque token.
+
+        Mass-moving states (push-sum) mutate here: the staged half
+        leaves the sender whether or not it is later delivered (a lost
+        message loses mass).  Monotone states just snapshot.
+        """
+
+    def begin_extract(self, srcs: np.ndarray):
+        """Stage the sender's *entire* content (cluster gather / relay).
+
+        Mass-moving states remove everything; monotone states fall back
+        to :meth:`begin_push` (copying content is free of semantics).
+        """
+        return self.begin_push(srcs)
+
+    @abc.abstractmethod
+    def finish_push(self, token, srcs: np.ndarray, dsts: np.ndarray) -> None:
+        """Apply the delivered subset of a staged push.
+
+        ``srcs``/``dsts`` are the engine's delivered pairs — a subset of
+        the token's senders, with possibly repeated destinations.
+        """
+
+    # -- pull path ------------------------------------------------------
+
+    @abc.abstractmethod
+    def deliver_pull(self, receivers: np.ndarray, responders: np.ndarray) -> None:
+        """Merge the responders' snapshot content into the receivers."""
+
+    # -- estimates (result dissemination) ------------------------------
+
+    def estimate_mask(self, nodes: np.ndarray) -> np.ndarray:
+        """Who holds an adoptable result (cluster scatter/catch-up)."""
+        return self.has_content(nodes)
+
+    def estimate_bits(self, nodes: np.ndarray) -> "int | np.ndarray":
+        """Bits of a result message (defaults to the full payload)."""
+        return self.payload_bits(nodes)
+
+    def adopt(self, receivers: np.ndarray, responders: np.ndarray) -> None:
+        """Adopt the responders' result (defaults to a content merge)."""
+        self.deliver_pull(receivers, responders)
+
+    def relay_candidates(self, followers: np.ndarray) -> Optional[np.ndarray]:
+        """Followers that must relay to their leader during cluster mix.
+
+        ``None`` (default) means "whoever received this round" — right
+        for monotone content, where the original holder retransmits
+        anyway.  Mass-moving states override with a mass test so a lost
+        relay is retried instead of stranding mass at a follower.
+        """
+        return None
+
+    # -- evaluation -----------------------------------------------------
+
+    @abc.abstractmethod
+    def completion_mask(self) -> np.ndarray:
+        """Per-node done mask (the report's ``informed`` analogue)."""
+
+    def done(self, alive: np.ndarray) -> bool:
+        """True when every alive node is individually complete."""
+        idx = np.flatnonzero(alive)
+        return bool(self.completion_mask()[idx].all()) if len(idx) else True
+
+    @abc.abstractmethod
+    def error(self, alive: np.ndarray) -> float:
+        """Distance from completion over the alive nodes (task semantics)."""
+
+    def progress(self, alive: np.ndarray) -> float:
+        """A scalar in [0, 1] for traces."""
+        idx = np.flatnonzero(alive)
+        if len(idx) == 0:
+            return 1.0
+        return float(self.completion_mask()[idx].mean())
+
+    def round_cap(self, n: int) -> int:
+        """Default uniform-transport schedule length."""
+        return _uniform_round_cap(n)
+
+    def extras(self) -> Dict[str, object]:
+        """Task-specific scalars for the report's ``extras``."""
+        return {}
+
+
+class KRumorState(TaskState):
+    """k-rumor all-cast: k independent sources, everyone must hold all k.
+
+    State is an ``(n, k)`` holds matrix; a message carries the sender's
+    whole rumor set — a k-bit presence bitmap plus ``count * rumor_bits``
+    payload — so bit cost scales with the rumors actually carried.
+    """
+
+    task = "k-rumor"
+
+    def __init__(
+        self,
+        net,
+        rng: np.random.Generator,
+        *,
+        message_bits: int = 256,
+        source: Optional[int] = 0,
+        k: int = 4,
+    ) -> None:
+        super().__init__(net.n)
+        if k < 1:
+            raise ValueError(f"k must be positive, got {k}")
+        alive = net.alive_indices()
+        if k > len(alive):
+            raise ValueError(f"k={k} sources exceed {len(alive)} alive nodes")
+        self.k = int(k)
+        self.rumor_bits = int(message_bits)
+        self.holds = np.zeros((self.n, self.k), dtype=bool)
+        # Sources: the broadcast ``source`` seeds rumor 0 when alive (so
+        # k=1 degenerates to the familiar single-source setting); the
+        # remaining k-1 sources are distinct uniform alive nodes.
+        sources = []
+        if source is not None and net.alive[source]:
+            sources.append(int(source))
+        pool = alive[~np.isin(alive, sources)]
+        extra = rng.choice(pool, size=self.k - len(sources), replace=False)
+        sources.extend(int(s) for s in extra)
+        self.sources = np.asarray(sources[: self.k], dtype=np.int64)
+        self.holds[self.sources, np.arange(self.k)] = True
+        self._snap = self.holds.copy()
+
+    def begin_round(self) -> None:
+        np.copyto(self._snap, self.holds)
+
+    def has_content(self, nodes: np.ndarray) -> np.ndarray:
+        return self._snap[nodes].any(axis=1)
+
+    def payload_bits(self, nodes: np.ndarray) -> np.ndarray:
+        counts = self._snap[nodes].sum(axis=1, dtype=np.int64)
+        return self.k + counts * self.rumor_bits
+
+    def begin_push(self, srcs: np.ndarray):
+        return (srcs, self._snap[srcs])
+
+    def finish_push(self, token, srcs: np.ndarray, dsts: np.ndarray) -> None:
+        staged_srcs, staged = token
+        rows = staged[np.searchsorted(staged_srcs, srcs)]
+        np.logical_or.at(self.holds, dsts, rows)
+
+    def deliver_pull(self, receivers: np.ndarray, responders: np.ndarray) -> None:
+        self.holds[receivers] |= self._snap[responders]
+
+    def completion_mask(self) -> np.ndarray:
+        return self.holds.all(axis=1)
+
+    def error(self, alive: np.ndarray) -> float:
+        """Missing-content fraction: 1 - mean fill of the alive rows."""
+        idx = np.flatnonzero(alive)
+        if len(idx) == 0:
+            return 0.0
+        return float(1.0 - self.holds[idx].mean())
+
+    def round_cap(self, n: int) -> int:
+        # Each rumor spreads like an independent PUSH/PULL epidemic; a
+        # union bound over k adds a log k term to the usual schedule.
+        return _uniform_round_cap(n) + math.ceil(math.log2(self.k + 1))
+
+    def extras(self) -> Dict[str, object]:
+        return {"task_k": self.k}
+
+
+class PushSumState(TaskState):
+    """Push-sum averaging (Kempe et al., FOCS 2003).
+
+    Every alive node starts with weight 1 and a uniform ``[0, 1)`` value;
+    mass moves through messages (half on a uniform exchange, everything
+    on a cluster gather), and ``estimate = value/weight`` converges to
+    the true mean wherever mass mixes.  Estimates are tracked separately
+    from mass: a cluster scatter disseminates the leader's *estimate*
+    without moving mass.
+    """
+
+    task = "push-sum"
+
+    def __init__(
+        self,
+        net,
+        rng: np.random.Generator,
+        *,
+        message_bits: int = 256,
+        source: Optional[int] = 0,
+        tol: float = 1e-3,
+        value_bits: int = PUSH_SUM_VALUE_BITS,
+    ) -> None:
+        super().__init__(net.n)
+        if not 0 < tol < 1:
+            raise ValueError(f"tol must be in (0, 1), got {tol}")
+        del message_bits, source  # no rumor, no distinguished source
+        self.tol = float(tol)
+        self.value_bits = int(value_bits)
+        self.values = rng.random(self.n)
+        alive = net.alive
+        self.mu = float(self.values[alive].mean()) if alive.any() else 0.0
+        self._scale = max(abs(self.mu), 1e-12)
+        self.v = np.where(alive, self.values, 0.0)
+        self.w = alive.astype(np.float64)
+        self.est = np.full(self.n, np.nan)
+        self.end_round()  # initial estimates = own value
+        self._est_snap = self.est.copy()
+
+    def begin_round(self) -> None:
+        np.copyto(self._est_snap, self.est)
+
+    def end_round(self) -> None:
+        held = self.w > WEIGHT_FLOOR
+        self.est[held] = self.v[held] / self.w[held]
+
+    def all_push(self) -> bool:
+        return True
+
+    def has_content(self, nodes: np.ndarray) -> np.ndarray:
+        return self.w[nodes] > WEIGHT_FLOOR
+
+    def payload_bits(self, nodes: np.ndarray) -> int:
+        return 2 * self.value_bits
+
+    def _stage(self, srcs: np.ndarray, fraction: float):
+        v_out = self.v[srcs] * fraction
+        w_out = self.w[srcs] * fraction
+        self.v[srcs] -= v_out
+        self.w[srcs] -= w_out
+        return (srcs, v_out, w_out)
+
+    def begin_push(self, srcs: np.ndarray):
+        return self._stage(srcs, 0.5)
+
+    def begin_extract(self, srcs: np.ndarray):
+        return self._stage(srcs, 1.0)
+
+    def finish_push(self, token, srcs: np.ndarray, dsts: np.ndarray) -> None:
+        staged_srcs, v_out, w_out = token
+        pos = np.searchsorted(staged_srcs, srcs)
+        np.add.at(self.v, dsts, v_out[pos])
+        np.add.at(self.w, dsts, w_out[pos])
+
+    def deliver_pull(self, receivers: np.ndarray, responders: np.ndarray) -> None:
+        # Mass cannot move through a pull response without the responder
+        # splitting among an unknown number of pullers; push-sum only
+        # disseminates *estimates* on the pull path.
+        self.adopt(receivers, responders)
+
+    def estimate_mask(self, nodes: np.ndarray) -> np.ndarray:
+        return np.isfinite(self._est_snap[nodes])
+
+    def estimate_bits(self, nodes: np.ndarray) -> int:
+        return self.value_bits
+
+    def adopt(self, receivers: np.ndarray, responders: np.ndarray) -> None:
+        self.est[receivers] = self._est_snap[responders]
+
+    def relay_candidates(self, followers: np.ndarray) -> np.ndarray:
+        return followers[self.w[followers] > WEIGHT_FLOOR]
+
+    def _rel_err(self) -> np.ndarray:
+        err = np.full(self.n, np.inf)
+        held = np.isfinite(self.est)
+        err[held] = np.abs(self.est[held] - self.mu) / self._scale
+        return err
+
+    def completion_mask(self) -> np.ndarray:
+        return self._rel_err() <= self.tol
+
+    def error(self, alive: np.ndarray) -> float:
+        """Max relative error of the alive estimates (inf if any node
+        holds no estimate at all)."""
+        idx = np.flatnonzero(alive)
+        if len(idx) == 0:
+            return 0.0
+        return float(self._rel_err()[idx].max())
+
+    def round_cap(self, n: int) -> int:
+        return push_sum_round_cap(n, self.tol)
+
+    def extras(self) -> Dict[str, object]:
+        return {"task_mu": self.mu, "task_tol": self.tol}
+
+
+class ExtremeState(TaskState):
+    """Min/max dissemination — the idempotent aggregate sanity case.
+
+    Every alive node starts with a uniform ``[0, 1)`` value; merging is
+    elementwise min (or max), so loss and churn cost only retransmission
+    rounds, never correctness.  Completion = every alive node holds the
+    global extreme of the *initially alive* values.
+    """
+
+    task = "min-max"
+
+    def __init__(
+        self,
+        net,
+        rng: np.random.Generator,
+        *,
+        message_bits: int = 256,
+        source: Optional[int] = 0,
+        mode: str = "min",
+        value_bits: int = PUSH_SUM_VALUE_BITS,
+    ) -> None:
+        super().__init__(net.n)
+        if mode not in ("min", "max"):
+            raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+        del message_bits, source
+        self.mode = mode
+        self.value_bits = int(value_bits)
+        self._merge = np.minimum if mode == "min" else np.maximum
+        self._merge_at = np.minimum.at if mode == "min" else np.maximum.at
+        self.values = rng.random(self.n)
+        alive = net.alive
+        idle = np.inf if mode == "min" else -np.inf
+        self.best = np.where(alive, self.values, idle)
+        pool = self.values[alive]
+        self.target = float(pool.min() if mode == "min" else pool.max()) if len(pool) else idle
+        self._snap = self.best.copy()
+
+    def begin_round(self) -> None:
+        np.copyto(self._snap, self.best)
+
+    def has_content(self, nodes: np.ndarray) -> np.ndarray:
+        return np.isfinite(self._snap[nodes])
+
+    def payload_bits(self, nodes: np.ndarray) -> int:
+        return self.value_bits
+
+    def all_push(self) -> bool:
+        return True
+
+    def begin_push(self, srcs: np.ndarray):
+        return (srcs, self._snap[srcs])
+
+    def finish_push(self, token, srcs: np.ndarray, dsts: np.ndarray) -> None:
+        staged_srcs, staged = token
+        self._merge_at(self.best, dsts, staged[np.searchsorted(staged_srcs, srcs)])
+
+    def deliver_pull(self, receivers: np.ndarray, responders: np.ndarray) -> None:
+        self.best[receivers] = self._merge(
+            self.best[receivers], self._snap[responders]
+        )
+
+    def completion_mask(self) -> np.ndarray:
+        return self.best == self.target
+
+    def error(self, alive: np.ndarray) -> float:
+        """Fraction of alive nodes not yet holding the global extreme."""
+        idx = np.flatnonzero(alive)
+        if len(idx) == 0:
+            return 0.0
+        return float(1.0 - self.completion_mask()[idx].mean())
+
+    def extras(self) -> Dict[str, object]:
+        return {"task_mode": self.mode, "task_target": self.target}

@@ -1,0 +1,297 @@
+"""Task transports: driving an arbitrary task over an algorithm's contacts.
+
+A transport is the bridge between an algorithm's *communication pattern*
+and a task's *content semantics* (:mod:`repro.tasks.state`).  Two
+patterns cover the registered algorithms:
+
+:func:`run_uniform_task`
+    The random phone call pattern of the gossip baselines: every round
+    each participating node contacts one uniformly random other node.
+    Content-holding nodes push; in ``"push-pull"`` mode the
+    empty-handed pull (exactly the PUSH-PULL role split); mass-exchange
+    tasks (push-sum) have everyone push.
+
+:func:`run_cluster_task`
+    The paper's direct-addressing pattern: build the algorithm's cluster
+    structure (the caller supplies the construction phases — Cluster1's
+    and Cluster2's differ), then
+
+    1. **gather** — followers push their whole content straight to their
+       leader (one round: the leader's address is what ``follow`` is);
+    2. **mix** — cluster aggregates cross-pollinate: holders (leaders and
+       still-unclustered nodes) push to uniform random nodes, follower
+       receivers relay to their leader, until every leader's aggregate is
+       complete (or a cap);
+    3. **scatter** — followers pull the leader's result (one round);
+    4. **catch-up** — nodes still incomplete (stragglers, revived nodes,
+       crash orphans) pull random nodes for the result.
+
+    With the usual single spanning cluster this aggregates in O(1) rounds
+    after construction — the direct-addressing payoff the paper's
+    broadcast results rest on, applied to aggregation.
+
+Both transports record the task's error after every committed round into
+:attr:`repro.sim.metrics.Metrics.error_series` via an engine commit hook,
+and both stop as soon as the task's completion predicate holds (the
+completion oracle is the experiment harness's, not the nodes').
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.core.result import AlgorithmReport, report_from_sim
+from repro.sim.engine import Simulator
+from repro.sim.trace import Trace, null_trace
+from repro.tasks.state import TaskState
+
+
+def _staged_push(sim: Simulator, state: TaskState, round_, srcs, dsts, extract=False):
+    """One bulk task push with connection-aware staging.
+
+    The random phone call model is connection-oriented: a caller whose
+    target is dead observes the failed connection (the engine never
+    delivers it), so mass-moving states only stage content over
+    *established* connections — a push-sum node dialling a crashed node
+    keeps its mass and retries next round.  In-transit message loss (an
+    active loss window) is invisible to the sender: that mass is staged
+    and genuinely lost.  The attempt is still declared (and charged) for
+    every caller, exactly like the broadcast baselines.
+    """
+    connected = sim.net.alive[dsts]
+    stage = state.begin_extract if extract else state.begin_push
+    token = stage(srcs[connected])
+    delivery = round_.push(srcs, dsts, state.payload_bits(srcs))
+    state.finish_push(token, delivery.srcs, delivery.dsts)
+    return delivery
+
+
+def _task_observer(sim: Simulator, state: TaskState):
+    """Install the per-round error recorder; returns a ``completion()``
+    getter for the first round at which the task was done."""
+    holder = {"round": None}
+
+    def observe(s: Simulator) -> None:
+        s.metrics.record_error(state.error(s.net.alive))
+        if holder["round"] is None and state.done(s.net.alive):
+            holder["round"] = s.metrics.rounds
+
+    sim.add_commit_hook(observe)
+    return lambda: holder["round"]
+
+
+def _finish_report(
+    sim: Simulator,
+    state: TaskState,
+    trace: Trace,
+    completion: Optional[int],
+) -> AlgorithmReport:
+    alive = sim.net.alive
+    return report_from_sim(
+        state.task,
+        sim,
+        state.completion_mask(),
+        trace,
+        completion_round=completion,
+        task=state.task,
+        task_error=state.error(alive),
+        converged=state.done(alive),
+        **state.extras(),
+    )
+
+
+def run_uniform_task(
+    sim: Simulator,
+    state: TaskState,
+    *,
+    mode: str = "push-pull",
+    max_rounds: Optional[int] = None,
+    trace: Trace = None,
+) -> AlgorithmReport:
+    """Drive ``state`` over uniform random phone calls.
+
+    ``mode="push-pull"`` gives empty-handed nodes a pull lane (the
+    PUSH-PULL role split); ``mode="push"`` leaves them idle (the PUSH
+    pattern).  Mass-exchange tasks put every node on the push lane in
+    both modes.  Stops at completion or after the task's schedule cap.
+    """
+    if mode not in ("push-pull", "push"):
+        raise ValueError(f"mode must be 'push-pull' or 'push', got {mode!r}")
+    trace = trace if trace is not None else null_trace()
+    cap = max_rounds if max_rounds is not None else state.round_cap(sim.net.n)
+    completion = _task_observer(sim, state)
+    nothing = np.empty(0, dtype=np.int64)
+    with sim.metrics.phase(f"task:{state.task}"):
+        step = 0
+        while step < cap and not state.done(sim.net.alive):
+            step += 1
+            alive = sim.net.alive_indices()
+            if len(alive) == 0:
+                break
+            state.begin_round()
+            if state.all_push():
+                pushers, pullers = alive, nothing
+            else:
+                content = state.has_content(alive)
+                pushers = alive[content]
+                pullers = alive[~content] if mode == "push-pull" else nothing
+            answered = pdsts = None
+            with sim.round(f"{state.task}:{mode}") as r:
+                if len(pushers):
+                    _staged_push(
+                        sim, state, r, pushers, sim.random_targets(pushers)
+                    )
+                if len(pullers):
+                    pdsts = sim.random_targets(pullers)
+                    answered = r.pull(
+                        pullers,
+                        pdsts,
+                        state.payload_bits(pdsts),
+                        state.has_content(pdsts),
+                    ).answered
+            if answered is not None:
+                state.deliver_pull(pullers[answered], pdsts[answered])
+            state.end_round()
+            trace.emit(
+                sim.metrics.rounds,
+                f"{state.task}.step",
+                progress=round(state.progress(sim.net.alive), 6),
+            )
+    return _finish_report(sim, state, trace, completion())
+
+
+def default_mix_cap(n: int) -> int:
+    """Mix-phase schedule: enough uniform exchanges between cluster
+    aggregates to cross-pollinate w.h.p. — ``O(log n)`` with slack."""
+    return math.ceil(math.log2(max(n, 2))) + 8
+
+
+def default_catchup_cap(n: int) -> int:
+    """Catch-up schedule: with nearly everyone holding the result, each
+    straggler expects O(1) pull attempts; the cap still allows the full
+    PULL endgame shape."""
+    return math.ceil(math.log2(max(n, 2))) + 8
+
+
+def run_cluster_task(
+    sim: Simulator,
+    state: TaskState,
+    build: Callable[[Simulator, Clustering, Trace], None],
+    *,
+    mix_rounds: Optional[int] = None,
+    catchup_rounds: Optional[int] = None,
+    trace: Trace = None,
+) -> AlgorithmReport:
+    """Drive ``state`` over a cluster structure (see module docstring).
+
+    ``build`` constructs the clustering with the owning algorithm's own
+    phases and parameters; everything after it is shared: gather → mix →
+    scatter → catch-up.
+    """
+    trace = trace if trace is not None else null_trace()
+    n = sim.net.n
+    mix_cap = mix_rounds if mix_rounds is not None else default_mix_cap(n)
+    catchup_cap = (
+        catchup_rounds if catchup_rounds is not None else default_catchup_cap(n)
+    )
+    completion = _task_observer(sim, state)
+
+    cl = Clustering(sim.net)
+    build(sim, cl, trace)
+
+    # -- gather: followers hand their content straight to their leader.
+    # Under a dynamics timeline a second attempt retransmits anything a
+    # loss window ate (mass-moving states have nothing left to resend and
+    # skip themselves via has_content).
+    with sim.metrics.phase("task-gather"):
+        for _ in range(2 if sim.dynamics is not None else 1):
+            followers = cl.followers()
+            state.begin_round()
+            senders = followers[state.has_content(followers)]
+            with sim.round("TaskGather") as r:
+                _staged_push(
+                    sim, state, r, senders, cl.follow[senders], extract=True
+                )
+            state.end_round()
+            trace.emit(sim.metrics.rounds, "task.gather", senders=len(senders))
+
+    # -- mix: cluster aggregates cross-pollinate until every leader's is
+    # complete.  Holders push to uniform targets; follower receivers
+    # relay to their leader (two rounds per iteration, the ClusterPUSH
+    # shape).
+    with sim.metrics.phase("task-mix"):
+        for _ in range(mix_cap):
+            lead = cl.leaders()
+            holders = np.flatnonzero(cl.leader_mask() | cl.unclustered_mask())
+            if len(lead) == 0 or len(holders) <= 1:
+                break
+            if state.completion_mask()[lead].all():
+                break
+            state.begin_round()
+            senders = holders[state.has_content(holders)]
+            with sim.round("TaskMix:push") as r:
+                d = _staged_push(
+                    sim, state, r, senders, sim.random_targets(senders)
+                )
+            state.end_round()
+
+            followers = cl.followers()
+            relayers = state.relay_candidates(followers)
+            if relayers is None:
+                relayers = np.intersect1d(np.unique(d.dsts), followers)
+            state.begin_round()
+            with sim.round("TaskMix:relay") as r:
+                _staged_push(
+                    sim, state, r, relayers, cl.follow[relayers], extract=True
+                )
+            state.end_round()
+            trace.emit(
+                sim.metrics.rounds,
+                "task.mix",
+                holders=len(holders),
+                relayed=len(relayers),
+            )
+
+    # -- scatter: followers pull the leader's result (direct addressing
+    # again: one round regardless of cluster size).
+    with sim.metrics.phase("task-scatter"):
+        followers = cl.followers()
+        if len(followers):
+            state.begin_round()
+            leaders_of = cl.follow[followers]
+            with sim.round("TaskScatter") as r:
+                answered = r.pull(
+                    followers,
+                    leaders_of,
+                    state.estimate_bits(leaders_of),
+                    state.estimate_mask(leaders_of),
+                ).answered
+            state.adopt(followers[answered], leaders_of[answered])
+            state.end_round()
+
+    # -- catch-up: whoever is still incomplete (unclustered stragglers,
+    # revived nodes, crash orphans) pulls random nodes for the result.
+    with sim.metrics.phase("task-catchup"):
+        for _ in range(catchup_cap):
+            alive = sim.net.alive
+            if state.done(alive):
+                break
+            pending = np.flatnonzero(alive & ~state.completion_mask())
+            state.begin_round()
+            dsts = sim.random_targets(pending)
+            with sim.round("TaskCatchup") as r:
+                answered = r.pull(
+                    pending,
+                    dsts,
+                    state.estimate_bits(dsts),
+                    state.estimate_mask(dsts),
+                ).answered
+            state.adopt(pending[answered], dsts[answered])
+            state.end_round()
+            trace.emit(sim.metrics.rounds, "task.catchup", pending=len(pending))
+
+    return _finish_report(sim, state, trace, completion())

@@ -24,7 +24,7 @@ from repro.analysis.runner import RunRecord, RunSpec, execute, replicate_spec
 from repro.analysis.stats import ReplicationSummary
 from repro.core.broadcast import broadcast
 from repro.core.result import AlgorithmReport
-from repro.registry import get_algorithm
+from repro.registry import get_algorithm, get_task
 from repro.sim.dynamics import AdversitySchedule, resolve_schedule
 
 
@@ -48,6 +48,10 @@ class Scenario:
     failures: float = 0
     failure_pattern: str = "random"
     schedule: "AdversitySchedule | str | None" = None
+    #: Workload semantics (a registered task name); the default is the
+    #: implicit single-rumor broadcast.
+    task: str = "broadcast"
+    task_kwargs: Dict[str, Any] = field(default_factory=dict)
     #: Default replication count for :func:`replicate_suite`.
     reps: int = 1
     #: Heavy (large-n) presets are skipped by whole-catalogue sweeps and
@@ -69,6 +73,19 @@ class Scenario:
                 f"scenario {self.name!r}: {self.algorithm!r} does not accept "
                 f"{sorted(unknown)}; declared knobs are {sorted(spec.kwargs)}"
             )
+        task_spec = get_task(self.task)  # raises on unknown task names
+        if not spec.supports_task(self.task):
+            raise ValueError(
+                f"scenario {self.name!r}: algorithm {self.algorithm!r} "
+                f"cannot run task {self.task!r} (no registered transport)"
+            )
+        unknown_task = set(self.task_kwargs) - set(task_spec.kwargs)
+        if unknown_task:
+            raise ValueError(
+                f"scenario {self.name!r}: task {self.task!r} does not accept "
+                f"{sorted(unknown_task)}; declared knobs are "
+                f"{sorted(task_spec.kwargs)}"
+            )
         # Normalise preset names / spec strings to a frozen schedule.
         object.__setattr__(self, "schedule", resolve_schedule(self.schedule))
 
@@ -82,6 +99,8 @@ class Scenario:
             failures=self.failures,
             failure_pattern=self.failure_pattern,
             schedule=self.schedule,
+            task=self.task,
+            task_kwargs=dict(self.task_kwargs),
             reps=reps,
             engine=engine,
             kwargs=dict(self.kwargs),
@@ -96,6 +115,8 @@ class Scenario:
             failures=self.failures,
             failure_pattern=self.failure_pattern,
             schedule=self.schedule,
+            task=self.task,
+            task_kwargs=dict(self.task_kwargs),
             seed=seed,
         )
         args.update(self.kwargs)
@@ -237,6 +258,74 @@ for _scenario in [
         algorithm="cluster2",
         message_bits=512,
         schedule="flaky-start",
+    ),
+    # ------------------------------------------------------------------
+    # Task-layer presets (repro.tasks): the same engine and transports,
+    # richer workload semantics — all-cast, averaging, extrema.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="all-cast-k8",
+        description=(
+            "8 independent rumors start at 8 sources; everyone must "
+            "collect all 8 (k-rumor all-cast over PUSH-PULL)."
+        ),
+        n=2**12,
+        algorithm="push-pull",
+        message_bits=256,
+        task="k-rumor",
+        task_kwargs={"k": 8},
+    ),
+    Scenario(
+        name="mean-estimation",
+        description=(
+            "Push-sum averaging over uniform gossip: every node's "
+            "value/weight estimate converges to the true mean."
+        ),
+        n=2**12,
+        algorithm="push-pull",
+        message_bits=256,
+        task="push-sum",
+        task_kwargs={"tol": 1e-3},
+    ),
+    Scenario(
+        name="cluster-aggregation",
+        description=(
+            "Push-sum over Cluster2's structure: direct addressing "
+            "gathers the mass to the spanning cluster's leader in O(1) "
+            "rounds after construction."
+        ),
+        n=2**12,
+        algorithm="cluster2",
+        message_bits=256,
+        task="push-sum",
+        task_kwargs={"tol": 1e-3},
+    ),
+    Scenario(
+        name="aggregation-under-churn",
+        description=(
+            "Mean estimation while nodes crash: push-sum under the "
+            "churn-light schedule — lost nodes take their mass with "
+            "them, so the converged estimate drifts from the initial "
+            "mean (measured, not hidden)."
+        ),
+        n=2**11,
+        algorithm="push-pull",
+        message_bits=256,
+        task="push-sum",
+        task_kwargs={"tol": 5e-2},
+        schedule="churn-light",
+    ),
+    Scenario(
+        name="extrema-broadcast",
+        description=(
+            "Min dissemination over Cluster2: the idempotent aggregate "
+            "rides the cluster gather/scatter and every node learns the "
+            "global minimum."
+        ),
+        n=2**12,
+        algorithm="cluster2",
+        message_bits=256,
+        task="min-max",
     ),
     # ------------------------------------------------------------------
     # Scale tier (heavy): production-sized networks, run by name through

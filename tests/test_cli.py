@@ -1,5 +1,8 @@
 """Tests for the CLI entry point."""
 
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -15,11 +18,47 @@ class TestParser:
         assert args.n == 4096 and args.algorithm == "cluster2"
 
 
+class TestVersionAndModuleEntry:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        # Version string matches the package metadata / source fallback.
+        import repro
+
+        assert repro.__version__ in out
+
+    def test_python_dash_m_repro(self):
+        """``python -m repro run ...`` works via repro/__main__.py."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "run", "--n", "256",
+             "--algorithm", "push", "--seed", "1"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "push(n=256)" in proc.stdout
+
+    def test_python_dash_m_repro_version(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "--version"],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert proc.stdout.startswith("repro ")
+
+
 class TestCommands:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "cluster2" in out and "membership-update" in out
+        assert "push-sum" in out  # tasks are part of the catalogue
 
     def test_run(self, capsys):
         rc = main(["run", "--n", "512", "--algorithm", "push", "--seed", "1"])
@@ -88,3 +127,48 @@ class TestReplicationFlags:
         payload = json.loads(path.read_text())
         assert payload[0]["scenario"] == "low-latency-smalljob"
         assert payload[0]["summary"]["reps"] == 3
+
+
+class TestTaskFlags:
+    def test_run_task(self, capsys):
+        rc = main(
+            ["run", "--n", "512", "--algorithm", "push-pull",
+             "--task", "push-sum", "--task-arg", "tol=1e-3", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "task push-sum" in out and "converged=True" in out
+
+    def test_run_task_kwarg_coercion(self, capsys):
+        rc = main(
+            ["run", "--n", "256", "--algorithm", "push-pull",
+             "--task", "k-rumor", "--task-arg", "k=2", "--seed", "0"]
+        )
+        assert rc == 0
+
+    def test_run_task_reps_vector(self, capsys):
+        rc = main(
+            ["run", "--n", "256", "--algorithm", "push-pull",
+             "--task", "push-sum", "--reps", "4", "--engine", "vector"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "push-sum" in out and "vector" in out
+
+    def test_bad_task_arg_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--task", "push-sum", "--task-arg", "notkv"])
+
+    def test_list_tasks(self, capsys):
+        rc = main(["list-tasks"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("broadcast", "k-rumor", "push-sum", "min-max"):
+            assert name in out
+        assert "algorithms:" in out  # per-task compatibility lines
+
+    def test_task_suite_scenarios(self, capsys):
+        rc = main(["suite", "all-cast-k8", "mean-estimation", "--seeds", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "all-cast-k8" in out and "mean-estimation" in out

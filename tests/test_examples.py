@@ -1,0 +1,60 @@
+"""Smoke test: every script in examples/ must run end-to-end.
+
+Each example is executed as a subprocess (the way a user runs it) at a
+small ``n`` where the script accepts one, asserting exit code 0 — wired
+into the tier-1 suite so examples cannot rot silently.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples")
+SRC_DIR = os.path.join(os.path.dirname(EXAMPLES_DIR), "src")
+
+#: argv tails keeping each script quick (scripts taking [n] [seed] get a
+#: tiny n; the lower-bound demo has fixed sizes and takes no argv).
+EXAMPLE_ARGS = {
+    "quickstart.py": ["512", "0"],
+    "compare_algorithms.py": ["512"],
+    "fault_tolerant_broadcast.py": ["512"],
+    "bounded_fanin_gossip.py": ["4096"],
+    "task_workloads.py": ["512", "0"],
+    "lower_bound_demo.py": [],
+}
+
+
+def example_scripts():
+    return sorted(
+        name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+    )
+
+
+def test_every_example_has_args_entry():
+    """A new example must declare how the smoke test should invoke it."""
+    missing = set(example_scripts()) - set(EXAMPLE_ARGS)
+    assert not missing, (
+        f"examples {sorted(missing)} have no EXAMPLE_ARGS entry; add one "
+        "(with a small n) so the smoke test covers them"
+    )
+
+
+@pytest.mark.parametrize("script", example_scripts())
+def test_example_runs(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)]
+        + EXAMPLE_ARGS.get(script, []),
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script} exited {proc.returncode}\nstdout:\n{proc.stdout[-2000:]}"
+        f"\nstderr:\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,103 @@
+"""Hypothesis property tests for the Metrics accounting invariants.
+
+Random round sequences are driven through the *real* engine (static
+all-alive network, so every declared contact arrives) and the resulting
+:class:`~repro.sim.metrics.Metrics` must satisfy, for every generated
+execution:
+
+* totals equal the sum over phases (additive counters) and the max over
+  phases (max counters);
+* cumulative bits and messages are monotone non-decreasing across rounds;
+* per-round max fan-in is at least the averaging lower bound
+  ``ceil(arrived contacts / n)`` — no accounting path can report a max
+  below the mean.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.network import Network
+from repro.sim.rng import make_rng
+
+
+@st.composite
+def round_plans(draw):
+    """A network size and a per-round plan of (push initiators, pull
+    initiators) index arrays respecting one-initiation-per-node."""
+    n = draw(st.integers(min_value=2, max_value=24))
+    n_rounds = draw(st.integers(min_value=1, max_value=8))
+    plans = []
+    for _ in range(n_rounds):
+        initiators = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=n - 1),
+                unique=True,
+                max_size=n,
+            )
+        )
+        split = draw(st.integers(min_value=0, max_value=len(initiators)))
+        bits = draw(st.integers(min_value=1, max_value=512))
+        plans.append((initiators[:split], initiators[split:], bits))
+    return n, plans
+
+
+def _other_targets(rng, srcs, n):
+    """Uniform targets that never equal the source (the model's rule)."""
+    t = rng.integers(0, n - 1, size=len(srcs))
+    t += t >= srcs
+    return t
+
+
+@given(round_plans(), st.integers(min_value=0, max_value=2**31))
+@settings(max_examples=60, deadline=None)
+def test_metrics_invariants(plan, seed):
+    n, rounds = plan
+    rng = make_rng(seed)
+    net = Network(n, rng=seed)
+    sim = Simulator(net, rng, Metrics(n))
+
+    cumulative = []
+    for i, (push_srcs, pull_srcs, bits) in enumerate(rounds):
+        push_srcs = np.asarray(push_srcs, dtype=np.int64)
+        pull_srcs = np.asarray(pull_srcs, dtype=np.int64)
+        # One phase per round so per-round counters stay inspectable.
+        with sim.metrics.phase(f"r{i}"):
+            with sim.round(f"r{i}") as r:
+                if len(push_srcs):
+                    r.push(push_srcs, _other_targets(rng, push_srcs, n), bits)
+                if len(pull_srcs):
+                    r.pull(pull_srcs, _other_targets(rng, pull_srcs, n), bits)
+        cumulative.append((sim.metrics.messages, sim.metrics.bits))
+
+    total, phases = sim.metrics.total, sim.metrics.phases
+
+    # Totals = sum over phases (additive) / max over phases (maxima).
+    for counter in ("rounds", "messages", "bits", "pushes",
+                    "pull_requests", "pull_responses"):
+        assert getattr(total, counter) == sum(
+            getattr(st_, counter) for st_ in phases.values()
+        )
+    for counter in ("max_fanin", "max_initiations"):
+        assert getattr(total, counter) == max(
+            getattr(st_, counter) for st_ in phases.values()
+        )
+
+    # Cumulative messages/bits are monotone non-decreasing across rounds.
+    for (m0, b0), (m1, b1) in zip(cumulative, cumulative[1:]):
+        assert m1 >= m0 and b1 >= b0
+
+    # Per-round fan-in >= the averaging lower bound over arrived contacts
+    # (everyone is alive, so every declared contact arrives somewhere).
+    for i, (push_srcs, pull_srcs, _) in enumerate(rounds):
+        stats = phases[f"r{i}"]
+        arrived = stats.pushes + stats.pull_requests
+        assert stats.pushes == len(push_srcs)
+        assert stats.pull_requests == len(pull_srcs)
+        assert stats.max_fanin >= math.ceil(arrived / n)
+        # And one initiation per node was never exceeded.
+        assert stats.max_initiations <= 1

@@ -34,6 +34,36 @@ class TestTable:
         assert "demo" in capsys.readouterr().out
         assert os.path.exists(tmp_path / "exp-emit.txt")
 
+    def test_json_emission(self, tmp_path, capsys):
+        import json
+
+        import numpy as np
+
+        t = Table("demo", ["algo", "n", "err"], caption="cap")
+        t.add("cluster2", np.int64(4096), 1.5)
+        t.add("push-pull", 512, float("nan"))
+        t.emit("exp-json", directory=str(tmp_path), fmt="both")
+        capsys.readouterr()
+        assert os.path.exists(tmp_path / "exp-json.txt")
+        payload = json.loads((tmp_path / "exp-json.json").read_text())
+        assert payload["title"] == "demo" and payload["caption"] == "cap"
+        assert payload["columns"] == ["algo", "n", "err"]
+        assert payload["rows"][0] == {"algo": "cluster2", "n": 4096, "err": 1.5}
+        assert payload["rows"][1]["err"] == "nan"
+
+    def test_json_only(self, tmp_path):
+        t = Table("j", ["x"])
+        t.add(1)
+        path = t.save("exp-j", directory=str(tmp_path), fmt="json")
+        assert path.endswith(".json")
+        assert not os.path.exists(tmp_path / "exp-j.txt")
+
+    def test_bad_fmt_rejected(self, tmp_path):
+        import pytest
+
+        with pytest.raises(ValueError, match="fmt"):
+            Table("t", ["x"]).save("e", directory=str(tmp_path), fmt="yaml")
+
 
 class TestRender:
     def test_alignment(self):

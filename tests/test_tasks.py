@@ -1,0 +1,289 @@
+"""Tests for the task layer: registry, states, transports, replication.
+
+The task layer's contract, pinned here:
+
+* any compatible (algorithm, task) pair runs through the ordinary
+  ``broadcast()`` plumbing and returns a well-formed report;
+* task semantics are honest — push-sum estimates actually approximate
+  the true mean, min/max actually disseminates the global extreme,
+  k-rumor messages actually grow with k;
+* the default broadcast task is bit-identical to the pre-task-layer
+  engine (the fingerprint corpus in test_fingerprints.py pins this
+  globally; here we pin the API equivalence);
+* tasks compose with dynamics schedules, pre-run failures, and all
+  three replication engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro import broadcast, run_replications
+from repro.core.broadcast import ReplicationEngine, report_scalars
+from repro.registry import (
+    IncompatibleTaskError,
+    TaskSpec,
+    UnknownTaskError,
+    compatible_algorithms,
+    get_task,
+    register_task,
+    supports_task,
+    task_names,
+    unregister_task,
+)
+
+TASK_MATRIX = [
+    ("k-rumor", {"k": 4}),
+    ("push-sum", {}),
+    ("min-max", {}),
+]
+TRANSPORT_ALGOS = ["push-pull", "push", "cluster1", "cluster2"]
+
+
+class TestTaskRegistry:
+    def test_catalogue(self):
+        names = task_names()
+        assert {"broadcast", "k-rumor", "push-sum", "min-max"} <= set(names)
+
+    def test_unknown_task(self):
+        with pytest.raises(UnknownTaskError, match="no-such-task"):
+            get_task("no-such-task")
+
+    def test_compatibility(self):
+        for algo in TRANSPORT_ALGOS:
+            assert supports_task(algo, "push-sum")
+        assert not supports_task("pull", "push-sum")
+        assert supports_task("pull", "broadcast")
+        assert set(TRANSPORT_ALGOS) <= set(compatible_algorithms("k-rumor"))
+
+    def test_incompatible_pair_rejected_before_any_network(self):
+        with pytest.raises(IncompatibleTaskError, match="compatible"):
+            broadcast(256, "pull", task="push-sum")
+
+    def test_unknown_task_kwarg_rejected(self):
+        with pytest.raises(ValueError, match="does not accept"):
+            broadcast(256, "push-pull", task="k-rumor", task_kwargs={"zz": 1})
+
+    def test_duplicate_registration_conflicts(self):
+        register_task(TaskSpec(name="tmp-task", factory=lambda *a, **k: None))
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_task(TaskSpec(name="tmp-task", factory=dict))
+        finally:
+            unregister_task("tmp-task")
+
+    def test_broadcast_task_cannot_be_unregistered(self):
+        with pytest.raises(ValueError):
+            unregister_task("broadcast")
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("task,task_kwargs", TASK_MATRIX)
+    @pytest.mark.parametrize("algorithm", TRANSPORT_ALGOS)
+    def test_static_matrix_completes(self, task, task_kwargs, algorithm):
+        report = broadcast(
+            512, algorithm, task=task, task_kwargs=task_kwargs, seed=11
+        )
+        assert report.algorithm == algorithm
+        assert report.extras["task"] == task
+        assert report.success, (task, algorithm, report.extras)
+        assert report.extras["converged"]
+        assert report.extras["task_error"] <= 1e-3 + 1e-12
+        assert report.informed.dtype == bool and report.informed.all()
+        assert report.rounds > 0 and report.messages > 0 and report.bits > 0
+        # The error series was recorded every committed round.
+        assert len(report.metrics.error_series) == report.rounds
+
+    def test_push_sum_estimates_the_mean(self):
+        report = broadcast(1024, "push-pull", task="push-sum",
+                           task_kwargs={"tol": 1e-4}, seed=3)
+        assert report.success
+        assert abs(report.extras["task_mu"] - 0.5) < 0.05  # uniform values
+        assert report.extras["task_error"] <= 1e-4
+
+    def test_cluster_push_sum_is_nearly_exact(self):
+        report = broadcast(1024, "cluster2", task="push-sum", seed=5)
+        assert report.success
+        # All mass gathered at one leader: exact to float rounding.
+        assert report.extras["task_error"] < 1e-9
+
+    def test_min_max_finds_the_extreme(self):
+        for mode in ("min", "max"):
+            report = broadcast(512, "push-pull", task="min-max",
+                               task_kwargs={"mode": mode}, seed=7)
+            assert report.success
+            assert report.extras["task_mode"] == mode
+
+    def test_k_rumor_bits_scale_with_k(self):
+        bits = {
+            k: broadcast(512, "push-pull", task="k-rumor",
+                         task_kwargs={"k": k}, seed=1).bits
+            for k in (2, 8)
+        }
+        assert bits[8] > 2 * bits[2]
+
+    def test_k_rumor_rejects_too_many_sources(self):
+        with pytest.raises(ValueError, match="sources exceed"):
+            broadcast(8, "push-pull", task="k-rumor", task_kwargs={"k": 9})
+
+    def test_completion_round_recorded(self):
+        report = broadcast(512, "push-pull", task="min-max", seed=2)
+        assert report.extras["completion_round"] == report.rounds
+        assert report.spread_rounds == report.rounds
+
+
+class TestTaskComposition:
+    @pytest.mark.parametrize("task,task_kwargs", TASK_MATRIX)
+    def test_with_dynamics_schedule(self, task, task_kwargs):
+        report = broadcast(
+            512,
+            "push-pull",
+            task=task,
+            task_kwargs=task_kwargs,
+            schedule="churn-light",
+            seed=4,
+        )
+        assert "dyn_crashed" in report.extras
+        assert 0.0 <= report.informed_fraction <= 1.0
+
+    def test_cluster_task_under_churn(self):
+        report = broadcast(
+            1024, "cluster2", task="min-max", schedule="churn-light", seed=6
+        )
+        # Idempotent aggregate survives churn: survivors still learn it.
+        assert report.informed_fraction > 0.99
+
+    def test_with_prerun_failures(self):
+        report = broadcast(
+            512, "push-pull", task="push-sum", failures=64, seed=9
+        )
+        assert report.success
+        # mu is computed over the post-failure population.
+        assert report.extras["task_error"] <= 1e-3
+
+    def test_lossy_push_sum_loses_mass_but_reports_it(self):
+        report = broadcast(
+            512,
+            "push-pull",
+            task="push-sum",
+            task_kwargs={"tol": 0.5},
+            schedule="loss:0.2",
+            seed=8,
+        )
+        assert report.extras["dyn_messages_lost"] > 0
+        assert np.isfinite(report.extras["task_error"])
+
+
+class TestTaskReplication:
+    @pytest.mark.parametrize("task,task_kwargs", TASK_MATRIX)
+    def test_reset_engine_bit_identical_to_broadcast(self, task, task_kwargs):
+        eng = ReplicationEngine(256, "push-pull", task=task, task_kwargs=task_kwargs)
+        for seed in (0, 5):
+            assert report_scalars(eng.run(seed)) == report_scalars(
+                broadcast(256, "push-pull", seed=seed, task=task,
+                          task_kwargs=task_kwargs)
+            )
+
+    def test_vector_engine_runs_push_sum(self):
+        summary = run_replications(
+            512, "push-pull", reps=16, task="push-sum", engine="vector"
+        )
+        assert summary.engine == "vector" and summary.task == "push-sum"
+        assert summary.reps == 16
+        assert summary.success_rate == 1.0
+        assert summary.metrics["task_error"].maximum <= 1e-3
+
+    def test_auto_prefers_vector_for_push_sum(self):
+        assert (
+            run_replications(256, "push-pull", reps=2, task="push-sum").engine
+            == "vector"
+        )
+        # ... but falls back to reset under a schedule or another algorithm.
+        assert (
+            run_replications(
+                256, "push-pull", reps=2, task="push-sum", schedule="loss:0.01"
+            ).engine
+            == "reset"
+        )
+        assert (
+            run_replications(256, "cluster2", reps=2, task="push-sum").engine
+            == "reset"
+        )
+
+    def test_vector_unavailable_for_other_tasks(self):
+        with pytest.raises(ValueError, match="vector engine unavailable"):
+            run_replications(
+                256, "push-pull", reps=2, task="k-rumor", engine="vector"
+            )
+
+    def test_unknown_task_kwarg_uniform_across_engines(self):
+        # Both the sequential and vector paths must reject an undeclared
+        # knob with the task layer's message, not a raw TypeError.
+        for engine in ("reset", "vector"):
+            with pytest.raises(ValueError, match="does not accept"):
+                run_replications(
+                    256, "push-pull", reps=2, task="push-sum",
+                    task_kwargs={"bogus": 1}, engine=engine,
+                )
+
+    def test_task_error_stream_only_for_aggregation(self):
+        with_err = run_replications(256, "push-pull", reps=3, task="push-sum")
+        assert "task_error" in with_err.metrics
+        without = run_replications(256, "push-pull", reps=3)
+        assert "task_error" not in without.metrics
+        assert "task_error_mean" in with_err.row()
+
+    def test_reset_and_rebuild_agree(self):
+        a = run_replications(256, "push-pull", reps=3, task="min-max",
+                             engine="reset")
+        b = run_replications(256, "push-pull", reps=3, task="min-max",
+                             engine="rebuild")
+        assert a.metrics["spread_rounds"].mean == b.metrics["spread_rounds"].mean
+        assert a.metrics["bits_per_node"].mean == b.metrics["bits_per_node"].mean
+
+
+class TestDefaultTaskUntouched:
+    def test_explicit_broadcast_task_is_the_legacy_path(self):
+        a = broadcast(512, "cluster2", seed=13)
+        b = broadcast(512, "cluster2", seed=13, task="broadcast")
+        assert report_scalars(a) == report_scalars(b)
+        assert np.array_equal(a.informed, b.informed)
+        # The legacy path records no task error series.
+        assert a.metrics.error_series == []
+        assert "task" not in a.extras
+
+
+class TestTaskScenarios:
+    def test_presets_registered_and_valid(self):
+        from repro.workloads.scenarios import SCENARIOS
+
+        for name in (
+            "all-cast-k8",
+            "mean-estimation",
+            "cluster-aggregation",
+            "aggregation-under-churn",
+            "extrema-broadcast",
+        ):
+            assert name in SCENARIOS
+            assert SCENARIOS[name].task != "broadcast"
+
+    def test_preset_runs_at_small_n(self):
+        from repro.workloads.scenarios import run_scenario
+
+        report = run_scenario("mean-estimation", seed=1, n=256)
+        assert report.extras["task"] == "push-sum"
+        assert report.success
+
+    def test_preset_compiles_to_runspec(self):
+        from repro.workloads.scenarios import get_scenario
+
+        spec = get_scenario("all-cast-k8").run_spec(seed=3)
+        assert spec.task == "k-rumor" and spec.task_kwargs == {"k": 8}
+
+    def test_invalid_task_scenario_rejected(self):
+        from repro.workloads.scenarios import Scenario
+
+        with pytest.raises(ValueError, match="cannot run task"):
+            Scenario(
+                name="bad", description="", n=256, algorithm="pull",
+                message_bits=64, task="push-sum",
+            )
