@@ -80,9 +80,10 @@ def bench_spec(algorithm: str, n: int, seed: int, **kw) -> RunSpec:
     )
 
 
-def emit(table: Table, exp_id: str) -> str:
-    """Print the table and persist it under results/."""
-    return table.emit(exp_id, RESULTS_DIR)
+def emit(table: Table, exp_id: str, fmt: str = "text") -> str:
+    """Print the table and persist it under results/ (``fmt`` as in
+    :meth:`repro.analysis.tables.Table.save`)."""
+    return table.emit(exp_id, RESULTS_DIR, fmt=fmt)
 
 
 def rounds_table(rows: List[AggregateRow], title: str, caption: str = "") -> Table:

@@ -21,6 +21,7 @@ from repro.analysis.stats import ReplicationSummary, Summary, summarize
 from repro.core.broadcast import broadcast, run_replications
 from repro.core.result import AlgorithmReport
 from repro.sim.dynamics import AdversitySchedule
+from repro.sim.topology import Topology
 
 
 @dataclass(frozen=True)
@@ -53,6 +54,10 @@ class RunSpec:
     schedule: Optional[AdversitySchedule] = None
     task: str = "broadcast"
     task_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Contact topology (a frozen :class:`~repro.sim.topology.Topology`
+    #: spec or a registered name); None is the paper's complete graph.
+    topology: "Topology | str | None" = None
+    direct_addressing: str = "global"
     reps: int = 1
     engine: str = "auto"
     kwargs: Dict[str, Any] = field(default_factory=dict)
@@ -70,6 +75,8 @@ class RunSpec:
             schedule=self.schedule,
             task=self.task,
             task_kwargs=dict(self.task_kwargs),
+            topology=self.topology,
+            direct_addressing=self.direct_addressing,
             check_model=self.check_model,
             **self.kwargs,
         )
@@ -89,6 +96,8 @@ class RunSpec:
             schedule=self.schedule,
             task=self.task,
             task_kwargs=dict(self.task_kwargs),
+            topology=self.topology,
+            direct_addressing=self.direct_addressing,
             check_model=self.check_model,
             **self.kwargs,
         )
@@ -96,7 +105,16 @@ class RunSpec:
     def describe(self) -> str:
         tail = f" x{self.reps}" if self.reps > 1 else f" seed={self.seed}"
         middle = "" if self.task == "broadcast" else f" task={self.task}"
-        return f"{self.algorithm}{middle} n={self.n}{tail}"
+        where = ""
+        if self.topology is not None:
+            name = (
+                self.topology
+                if isinstance(self.topology, str)
+                else self.topology.describe()
+            )
+            if name != "complete":
+                where = f" @{name}"
+        return f"{self.algorithm}{middle}{where} n={self.n}{tail}"
 
 
 @dataclass(frozen=True)
@@ -169,6 +187,8 @@ def run_once(
     failures: float = 0,
     failure_pattern: str = "random",
     schedule: Optional[AdversitySchedule] = None,
+    topology: "Topology | str | None" = None,
+    direct_addressing: str = "global",
     check_model: bool = True,
     **kwargs: Any,
 ) -> RunRecord:
@@ -183,6 +203,8 @@ def run_once(
             failures=failures,
             failure_pattern=failure_pattern,
             schedule=schedule,
+            topology=topology,
+            direct_addressing=direct_addressing,
             check_model=check_model,
             kwargs=kwargs,
         )
@@ -199,6 +221,8 @@ def expand_grid(
     failures: float = 0,
     failure_pattern: str = "random",
     schedule: Optional[AdversitySchedule] = None,
+    topology: "Topology | str | None" = None,
+    direct_addressing: str = "global",
     check_model: bool = True,
     **kwargs: Any,
 ) -> List[RunSpec]:
@@ -214,6 +238,8 @@ def expand_grid(
             failures=failures,
             failure_pattern=failure_pattern,
             schedule=schedule,
+            topology=topology,
+            direct_addressing=direct_addressing,
             check_model=check_model,
             kwargs=dict(kwargs),
         )
@@ -277,6 +303,8 @@ def sweep(
     message_bits: int = 256,
     failures: float = 0,
     schedule: Optional[AdversitySchedule] = None,
+    topology: "Topology | str | None" = None,
+    direct_addressing: str = "global",
     check_model: bool = True,
     workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
@@ -291,6 +319,8 @@ def sweep(
         message_bits=message_bits,
         failures=failures,
         schedule=schedule,
+        topology=topology,
+        direct_addressing=direct_addressing,
         check_model=check_model,
         **kwargs,
     )
@@ -307,6 +337,8 @@ def replication_sweep(
     message_bits: int = 256,
     failures: float = 0,
     schedule: Optional[AdversitySchedule] = None,
+    topology: "Topology | str | None" = None,
+    direct_addressing: str = "global",
     check_model: bool = True,
     workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
@@ -323,6 +355,8 @@ def replication_sweep(
             message_bits=message_bits,
             failures=failures,
             schedule=schedule,
+            topology=topology,
+            direct_addressing=direct_addressing,
             check_model=check_model,
             reps=reps,
             engine=engine,

@@ -195,13 +195,18 @@ class ReplicationSummary:
         max_fanin: float,
         success: bool,
         task_error: Optional[float] = None,
+        task_error_repaired: Optional[float] = None,
     ) -> None:
         """Fold one replication's headline figures into the stream.
 
         ``task_error`` (aggregation tasks only) opens a lazily created
         ``"task_error"`` stream — broadcast-shaped replications never
         carry one, so their summaries stay shape-identical to before the
-        task layer.
+        task layer.  ``task_error_repaired`` (push-sum under dynamics:
+        the error against the surviving-mass target rather than the
+        initial mean) opens a second lazy stream the same way, so
+        summaries always report the biased and repaired estimates side
+        by side.
         """
         self.reps += 1
         self.successes += bool(success)
@@ -215,6 +220,9 @@ class ReplicationSummary:
         if task_error is not None:
             values["task_error"] = task_error
             self.metrics.setdefault("task_error", StreamingSummary())
+        if task_error_repaired is not None:
+            values["task_error_repaired"] = task_error_repaired
+            self.metrics.setdefault("task_error_repaired", StreamingSummary())
         for name, value in values.items():
             self.metrics[name].push(value)
 
@@ -254,6 +262,10 @@ class ReplicationSummary:
         if err is not None:
             row["task_error_mean"] = err.mean
             row["task_error_max"] = err.maximum
+        repaired = self.metrics.get("task_error_repaired")
+        if repaired is not None:
+            row["task_error_repaired_mean"] = repaired.mean
+            row["task_error_repaired_max"] = repaired.maximum
         return row
 
     def __str__(self) -> str:

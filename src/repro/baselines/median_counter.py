@@ -142,6 +142,11 @@ def median_counter_round_cap(n: int) -> int:
     category="baseline",
     kwargs=("max_rounds",),
     doc="Karp et al. [10]: Θ(log n) rounds, O(log log n) msgs/node.",
+    # The median-counter stopping rule compares counter medians against
+    # phase thresholds derived from uniform *global* sampling; on a
+    # restricted contact graph those thresholds are wrong (nodes would
+    # stop early or never), not merely slow, so the pair is refused.
+    complete_graph_only=True,
 )
 def median_counter(
     sim: Simulator, source: int = 0, *, trace: Trace = None, max_rounds: int = None

@@ -60,6 +60,9 @@ def random_tree_topology(n: int, rng: np.random.Generator) -> List[List[int]]:
     broadcastable=False,
     kwargs=("initial_knows", "max_rounds"),
     doc="Harchol-Balter et al. [9]: O(log² n)-round resource discovery.",
+    # Resource discovery *is* learning the complete graph; a restricted
+    # contact graph changes the problem statement, not the constants.
+    complete_graph_only=True,
 )
 def name_dropper(
     sim: Simulator,

@@ -21,6 +21,8 @@ from repro.registry import (
 )
 from repro.sim.batch import (
     BatchOutcome,
+    batched_k_rumor,
+    batched_min_max,
     batched_push_sum,
     per_rep_max_fanin,
     random_targets_batch,
@@ -184,7 +186,10 @@ def push_pull_task_transport(
     )
 
 
-#: ``run_replications(..., task="push-sum", engine="vector")`` entry
-#: point: the batched ``(R, n)`` push-sum executor of
-#: :mod:`repro.sim.batch` under the push-pull (uniform exchange) pattern.
+#: ``run_replications(..., task=..., engine="vector")`` entry points:
+#: the batched ``(R, n)`` task executors of :mod:`repro.sim.batch` under
+#: the push-pull (uniform exchange) pattern — push-sum mass exchange,
+#: k-rumor all-cast, and min/max dissemination.
 register_batch_runner("push-pull", task="push-sum")(batched_push_sum)
+register_batch_runner("push-pull", task="k-rumor")(batched_k_rumor)
+register_batch_runner("push-pull", task="min-max")(batched_min_max)

@@ -5,9 +5,11 @@ Commands:
 * ``run`` — one broadcast with full phase breakdown; ``--churn``,
   ``--loss`` and ``--schedule`` add a dynamic-adversity timeline;
   ``--task``/``--task-arg`` select the workload semantics (k-rumor
-  all-cast, push-sum averaging, ...); ``--reps N`` streams N seeded
-  replications through the scale tier (``--stream`` prints each as it
-  passes, ``--engine`` picks the executor);
+  all-cast, push-sum averaging, ...); ``--topology``/``--topology-arg``
+  pick the contact graph and ``--addressing`` the direct-addressing
+  mode; ``--reps N`` streams N seeded replications through the scale
+  tier (``--stream`` prints each as it passes, ``--engine`` picks the
+  executor);
 * ``sweep`` — an algorithm x n x seed grid, rendered as a table
   (``--workers N`` fans the jobs out over N processes);
 * ``scenario`` — a named workload preset;
@@ -15,9 +17,9 @@ Commands:
   (``--json PATH`` dumps the records for CI artifacts; ``--reps N``
   switches the cells to streamed replication aggregates);
 * ``lower-bound`` — the Section 6 feasibility experiment;
-* ``list-algorithms`` / ``list-tasks`` / ``list-scenarios`` /
-  ``list-schedules`` — the registry catalogues (``list`` prints all
-  four).
+* ``list-algorithms`` / ``list-tasks`` / ``list-topologies`` /
+  ``list-scenarios`` / ``list-schedules`` — the registry catalogues
+  (``list`` prints all five).
 """
 
 from __future__ import annotations
@@ -32,7 +34,17 @@ from repro.analysis.runner import aggregate, sweep
 from repro.analysis.tables import Table
 from repro.core.broadcast import REPLICATION_ENGINES, broadcast, run_replications
 from repro.core.lower_bound import min_feasible_rounds, theorem3_bound
-from repro.registry import algorithm_names, algorithm_specs, compatible_algorithms, task_names, task_specs
+from repro.registry import (
+    algorithm_names,
+    algorithm_specs,
+    compatible_algorithms,
+    compatible_topologies,
+    make_topology,
+    task_names,
+    task_specs,
+    topology_names,
+    topology_specs,
+)
 from repro.sim.dynamics import (
     SCHEDULES,
     AdversitySchedule,
@@ -63,12 +75,15 @@ def _version() -> str:
 
 
 def _parse_task_arg(text: str) -> "tuple[str, Any]":
-    """Parse one ``--task-arg KEY=VALUE`` (ints/floats auto-coerced)."""
+    """Parse one ``--task-arg``/``--topology-arg`` ``KEY=VALUE``
+    (ints, floats and true/false auto-coerced)."""
     key, sep, raw = text.partition("=")
     if not sep or not key:
         raise argparse.ArgumentTypeError(
-            f"task argument {text!r} is not KEY=VALUE"
+            f"argument {text!r} is not KEY=VALUE"
         )
+    if raw.lower() in ("true", "false"):
+        return key, raw.lower() == "true"
     value: Any = raw
     for cast in (int, float):
         try:
@@ -81,6 +96,44 @@ def _parse_task_arg(text: str) -> "tuple[str, Any]":
 
 def _task_kwargs_from_args(args: argparse.Namespace) -> Dict[str, Any]:
     return dict(getattr(args, "task_arg", None) or [])
+
+
+def _topology_from_args(args: argparse.Namespace):
+    """Build the ``--topology``/``--topology-arg`` spec (None = complete)."""
+    name = getattr(args, "topology", None)
+    topo_kwargs = dict(getattr(args, "topology_arg", None) or [])
+    if name is None:
+        if topo_kwargs:
+            raise ValueError("--topology-arg needs --topology")
+        return None
+    return make_topology(name, **topo_kwargs)
+
+
+def _add_topology_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--topology",
+        default=None,
+        choices=topology_names(),
+        help="contact topology (default: the paper's complete graph; "
+        "see list-topologies)",
+    )
+    parser.add_argument(
+        "--topology-arg",
+        type=_parse_task_arg,
+        action="append",
+        metavar="KEY=VALUE",
+        help="topology knob, repeatable (e.g. --topology-arg k=2, "
+        "--topology-arg d=8)",
+    )
+    parser.add_argument(
+        "--addressing",
+        default="global",
+        choices=["global", "topology"],
+        dest="direct_addressing",
+        help="direct-addressing mode: 'global' (the paper's model: "
+        "learned addresses are always routable) or 'topology' (direct "
+        "calls must follow contact-graph edges)",
+    )
 
 
 def _schedule_from_args(args: argparse.Namespace) -> Optional[AdversitySchedule]:
@@ -172,6 +225,8 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
         schedule=_schedule_from_args(args),
         task=args.task,
         task_kwargs=_task_kwargs_from_args(args),
+        topology=_topology_from_args(args),
+        direct_addressing=args.direct_addressing,
         consume=consume,
     )
     print(_replication_table([summary], f"{args.reps} replications").render())
@@ -179,6 +234,19 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    # Configuration errors — an (algorithm, task) pair with no registered
+    # transport, an incompatible topology, an unknown knob — are user
+    # input, not bugs: print the library's message cleanly instead of a
+    # traceback.  (broadcast() and run_replications() raise ValueError
+    # subclasses for all of them.)
+    try:
+        return _cmd_run_checked(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _cmd_run_checked(args: argparse.Namespace) -> int:
     if args.reps > 1:
         return _cmd_run_replications(args)
     if args.stream or args.engine != "auto":
@@ -196,6 +264,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         schedule=_schedule_from_args(args),
         task=args.task,
         task_kwargs=_task_kwargs_from_args(args),
+        topology=_topology_from_args(args),
+        direct_addressing=args.direct_addressing,
     )
     print(report)
     print()
@@ -205,6 +275,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(
             f"task {report.extras['task']}: error={report.extras['task_error']:.3g} "
             f"converged={report.extras['converged']}"
+        )
+    if "topology" in report.extras:
+        print()
+        print(
+            f"topology: {report.extras['topology']} "
+            f"(direct addressing: {report.extras['direct_addressing']})"
         )
     if "schedule" in report.extras:
         print()
@@ -239,14 +315,23 @@ def _sweep_table(records) -> Table:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    records = sweep(
-        args.algorithms,
-        args.ns,
-        list(range(args.seeds)),
-        message_bits=args.message_bits,
-        schedule=_schedule_from_args(args),
-        workers=args.workers,
-    )
+    # Same clean-config-error contract as `run`: an incompatible
+    # (algorithm, topology) pair, a bad schedule spec, or an unknown
+    # topology knob is user input — print the message, exit 2.
+    try:
+        records = sweep(
+            args.algorithms,
+            args.ns,
+            list(range(args.seeds)),
+            message_bits=args.message_bits,
+            schedule=_schedule_from_args(args),
+            topology=_topology_from_args(args),
+            direct_addressing=args.direct_addressing,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(_sweep_table(records).render())
     return 0
 
@@ -362,6 +447,22 @@ def _cmd_list_tasks(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_list_topologies(args: argparse.Namespace) -> int:
+    print("topologies:")
+    for spec in topology_specs():
+        knobs = f" [{', '.join(spec.kwargs)}]" if spec.kwargs else ""
+        tag = " (default)" if spec.complete else ""
+        print(f"  {spec.name}{tag}{knobs}: {spec.doc}")
+    restricted = [
+        s.name
+        for s in algorithm_specs()
+        if s.complete_graph_only
+    ]
+    if restricted:
+        print(f"  complete-graph-only algorithms: {', '.join(restricted)}")
+    return 0
+
+
 def _cmd_list_scenarios(args: argparse.Namespace) -> int:
     print("scenarios:")
     for name in scenario_names():
@@ -383,6 +484,7 @@ def _cmd_list_schedules(args: argparse.Namespace) -> int:
 def _cmd_list(args: argparse.Namespace) -> int:
     _cmd_list_algorithms(args)
     _cmd_list_tasks(args)
+    _cmd_list_topologies(args)
     _cmd_list_scenarios(args)
     _cmd_list_schedules(args)
     return 0
@@ -440,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         "the legacy per-seed loop, auto = best available",
     )
     _add_dynamics_flags(p_run)
+    _add_topology_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="algorithm x n x seed grid")
@@ -455,6 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
         "bit-identical for every value",
     )
     _add_dynamics_flags(p_sweep)
+    _add_topology_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 
     p_sc = sub.add_parser("scenario", help="run a named workload")
@@ -493,6 +597,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_lt = sub.add_parser("list-tasks", help="the task catalogue")
     p_lt.set_defaults(func=_cmd_list_tasks)
+
+    p_lto = sub.add_parser("list-topologies", help="the contact-topology catalogue")
+    p_lto.set_defaults(func=_cmd_list_topologies)
 
     p_ls = sub.add_parser("list-scenarios", help="the scenario catalogue")
     p_ls.set_defaults(func=_cmd_list_scenarios)

@@ -32,13 +32,16 @@ from repro.registry import (
     BROADCAST_TASK,
     AlgorithmSpec,
     IncompatibleTaskError,
+    IncompatibleTopologyError,
     algorithm_names,
     compatible_algorithms,
+    compatible_topologies,
     get_algorithm,
     get_task,
 )
 from repro.sim.batch import DEFAULT_BATCH_ELEMS, batch_size
 from repro.sim.dynamics import AdversitySchedule, resolve_schedule
+from repro.sim.topology import ADDRESSING_MODES, Topology, resolve_topology
 from repro.sim.engine import BufferPool, Simulator
 from repro.sim.failures import apply_pattern
 from repro.sim.metrics import Metrics
@@ -70,8 +73,27 @@ def _check_task(spec: AlgorithmSpec, task: str) -> None:
     get_task(task)  # raises UnknownTaskError on a miss
     if task != BROADCAST_TASK and not spec.supports_task(task):
         raise IncompatibleTaskError(
-            f"algorithm {spec.name!r} cannot run task {task!r}; compatible "
-            f"algorithms: {compatible_algorithms(task)}"
+            f"algorithm {spec.name!r} has no registered task transport for "
+            f"task {task!r}; compatible algorithms: "
+            f"{compatible_algorithms(task)}"
+        )
+
+
+def _check_topology(
+    spec: AlgorithmSpec, topology: Topology, direct_addressing: str
+) -> None:
+    """Validate an (algorithm, topology) pair and the addressing mode
+    before any network is built — a clear error beats a wrong run."""
+    if direct_addressing not in ADDRESSING_MODES:
+        raise ValueError(
+            f"direct_addressing must be one of {ADDRESSING_MODES}, "
+            f"got {direct_addressing!r}"
+        )
+    if not spec.supports_topology(topology):
+        raise IncompatibleTopologyError(
+            f"algorithm {spec.name!r} only runs on the complete contact "
+            f"graph, not on {topology.describe()!r}; compatible topologies: "
+            f"{compatible_topologies(spec.name)}"
         )
 
 
@@ -87,6 +109,8 @@ def broadcast(
     schedule: "AdversitySchedule | str | None" = None,
     task: str = BROADCAST_TASK,
     task_kwargs: Optional[Dict[str, Any]] = None,
+    topology: "Topology | str | None" = None,
+    direct_addressing: str = "global",
     profile: "Profile | str" = LAPTOP,
     trace: Optional[Trace] = None,
     check_model: bool = True,
@@ -132,6 +156,19 @@ def broadcast(
     task_kwargs:
         Extra knobs for the task's state factory (e.g. ``{"k": 8}`` for
         ``k-rumor``, ``{"tol": 1e-4}`` for ``push-sum``).
+    topology:
+        Contact topology (:mod:`repro.sim.topology`): a frozen
+        :class:`~repro.sim.topology.Topology` spec, a registered name
+        (:func:`repro.registry.topology_names`), or ``None`` for the
+        paper's complete graph — the default, bit-identical to the
+        pre-topology engine.  Random topologies are re-sampled per seed
+        from the network's own stream.
+    direct_addressing:
+        ``"global"`` (the paper's model, default): learned addresses are
+        routable regardless of the contact graph.  ``"topology"``:
+        direct calls only connect along contact-graph edges — the
+        experiment that measures what direct addressing is worth once
+        the complete graph is gone.
     profile:
         Constant-resolution profile or its name.
     check_model:
@@ -143,12 +180,20 @@ def broadcast(
     """
     spec = get_algorithm(algorithm)
     _check_task(spec, task)
+    topology = resolve_topology(topology)
+    _check_topology(spec, topology, direct_addressing)
     if isinstance(profile, str):
         profile = get_profile(profile)
     if source is not None and not 0 <= source < n:
         raise ValueError(f"source {source} out of range for n={n}")
 
-    net = Network(n, rng=derive_seed(seed, "net"), rumor_bits=message_bits)
+    net = Network(
+        n,
+        rng=derive_seed(seed, "net"),
+        rumor_bits=message_bits,
+        topology=topology,
+        direct_addressing=direct_addressing,
+    )
     return _run_on_network(
         net,
         spec,
@@ -231,6 +276,9 @@ def _run_on_network(
     # timeline it may crash mid-broadcast, and an execution whose only
     # copy of the rumor died is a model outcome, not a harness failure.
     report.extras.setdefault("source_alive", bool(net.alive[source]))
+    if net.topology_restricted:
+        report.extras.setdefault("topology", net.topology.describe())
+        report.extras.setdefault("direct_addressing", net.direct_addressing)
     if dynamics is not None:
         report.extras.setdefault("schedule", schedule.describe())
         for key, value in dynamics.summary().items():
@@ -268,6 +316,8 @@ class ReplicationEngine:
         schedule: "AdversitySchedule | str | None" = None,
         task: str = BROADCAST_TASK,
         task_kwargs: Optional[Dict[str, Any]] = None,
+        topology: "Topology | str | None" = None,
+        direct_addressing: str = "global",
         profile: "Profile | str" = LAPTOP,
         check_model: bool = True,
         index_dtype: "str | None" = "auto",
@@ -276,6 +326,9 @@ class ReplicationEngine:
         self.n = int(n)
         self.spec = get_algorithm(algorithm)
         _check_task(self.spec, task)
+        self.topology = resolve_topology(topology)
+        self.direct_addressing = direct_addressing
+        _check_topology(self.spec, self.topology, direct_addressing)
         self.source = source
         self.message_bits = message_bits
         self.failures = failures
@@ -306,6 +359,8 @@ class ReplicationEngine:
                 rng=net_seed,
                 rumor_bits=self.message_bits,
                 index_dtype=self.index_dtype,
+                topology=self.topology,
+                direct_addressing=self.direct_addressing,
             )
         else:
             self._net.reset(net_seed)
@@ -345,6 +400,8 @@ def run_replications(
     schedule: "AdversitySchedule | str | None" = None,
     task: str = BROADCAST_TASK,
     task_kwargs: Optional[Dict[str, Any]] = None,
+    topology: "Topology | str | None" = None,
+    direct_addressing: str = "global",
     profile: "Profile | str" = LAPTOP,
     check_model: bool = True,
     consume: Optional[Callable[[dict], None]] = None,
@@ -395,18 +452,25 @@ def run_replications(
         )
     spec = get_algorithm(algorithm)
     _check_task(spec, task)
+    resolved_topology = resolve_topology(topology)
+    _check_topology(spec, resolved_topology, direct_addressing)
     if task != BROADCAST_TASK:
         # Uniform knob validation across engines: the vector path calls a
         # batch runner directly (never TaskSpec.build), so validate here.
         get_task(task).validate_kwargs(task_kwargs)
     resolved = resolve_schedule(schedule)
     batch_runner = spec.batch_runner_for(task)
-    vector_ok = batch_runner is not None and resolved is None and not failures
+    vector_ok = (
+        batch_runner is not None
+        and resolved is None
+        and not failures
+        and resolved_topology.complete
+    )
     if engine == "vector" and not vector_ok:
         raise ValueError(
             f"vector engine unavailable for {algorithm!r} (task {task!r}) "
             "here: it needs a registered batch runner for the task and a "
-            "zero-adversity, zero-failure configuration"
+            "zero-adversity, zero-failure, complete-graph configuration"
         )
     if engine == "auto":
         engine = "vector" if vector_ok else "reset"
@@ -419,9 +483,14 @@ def run_replications(
             consume({"rep": rep, "seed": seed, **scalars})
 
     if engine == "vector":
+        # Batch runners whose work arrays are (R, n, w)-shaped (k-rumor:
+        # w = k) declare the per-node weight so the element budget bounds
+        # the true footprint, not just R * n.
+        weigh = getattr(batch_runner, "elements_per_node", None)
+        node_elems = n * (weigh(dict(task_kwargs or {})) if weigh else 1)
         done = 0
         while done < reps:
-            take = batch_size(n, reps - done, batch_elems)
+            take = batch_size(node_elems, reps - done, batch_elems)
             rng = make_rng(derive_seed(base_seed, "vector", done))
             outcome = batch_runner(
                 n,
@@ -447,6 +516,8 @@ def run_replications(
             schedule=resolved,
             task=task,
             task_kwargs=task_kwargs,
+            topology=resolved_topology,
+            direct_addressing=direct_addressing,
             profile=profile,
             check_model=check_model,
             **algorithm_kwargs,
@@ -466,6 +537,8 @@ def run_replications(
                 schedule=resolved,
                 task=task,
                 task_kwargs=task_kwargs,
+                topology=resolved_topology,
+                direct_addressing=direct_addressing,
                 profile=profile,
                 check_model=check_model,
                 **algorithm_kwargs,
@@ -490,4 +563,6 @@ def report_scalars(report: AlgorithmReport) -> dict:
     }
     if "task_error" in report.extras:
         scalars["task_error"] = float(report.extras["task_error"])
+    if "task_error_repaired" in report.extras:
+        scalars["task_error_repaired"] = float(report.extras["task_error_repaired"])
     return scalars

@@ -75,6 +75,18 @@ class IncompatibleTaskError(ValueError):
     """An (algorithm, task) pair with no registered transport."""
 
 
+class DuplicateTopologyError(ValueError):
+    """Two registrations claimed the same topology name."""
+
+
+class UnknownTopologyError(ValueError):
+    """Lookup of a topology name nobody registered."""
+
+
+class IncompatibleTopologyError(ValueError):
+    """An (algorithm, topology) pair the algorithm declared unsupported."""
+
+
 #: The implicit default task: single-rumor broadcast, the paper's setting.
 BROADCAST_TASK = "broadcast"
 
@@ -117,6 +129,14 @@ class AlgorithmSpec:
     task_batch_runners:
         Vectorised replication entry points for non-broadcast tasks,
         keyed by task name (``batch_runner`` covers ``"broadcast"``).
+    complete_graph_only:
+        Whether the algorithm is only meaningful on the complete contact
+        graph (:mod:`repro.sim.topology`).  Most algorithms run on any
+        topology — their *guarantees* just degrade — but some (e.g. the
+        median-counter stopping rule, whose phase thresholds are derived
+        from uniform global sampling) are wrong, not merely slower, on a
+        restricted graph, and declare it here so ``broadcast()`` and
+        scenario validation refuse the pair up front.
     """
 
     name: str
@@ -129,6 +149,7 @@ class AlgorithmSpec:
     batch_runner: Optional[Callable[..., Any]] = None
     task_transport: Optional[Callable[..., Any]] = None
     task_batch_runners: Tuple[Tuple[str, Callable[..., Any]], ...] = ()
+    complete_graph_only: bool = False
 
     def run(self, sim, source, profile, trace, **algorithm_kwargs):
         """Invoke the runner with the uniform dispatch convention."""
@@ -179,6 +200,11 @@ class AlgorithmSpec:
             return self.batch_runner
         return dict(self.task_batch_runners).get(task)
 
+    def supports_topology(self, topology) -> bool:
+        """Whether this algorithm may run on contact graph ``topology``
+        (a :class:`repro.sim.topology.Topology` spec)."""
+        return topology.complete or not self.complete_graph_only
+
 
 _REGISTRY: Dict[str, AlgorithmSpec] = {}
 
@@ -197,6 +223,9 @@ _BUILTIN_MODULES: Tuple[str, ...] = (
     # with the algorithms so that (algorithm, task) compatibility is
     # resolvable as soon as anyone touches the registry.
     "repro.tasks.builtin",
+    # The built-in contact-graph catalogue (complete, ring, torus,
+    # random-regular, gnp) — its import self-registers the topologies.
+    "repro.sim.topology",
 )
 
 _builtins_loaded = False
@@ -229,6 +258,7 @@ def register_algorithm(
     broadcastable: bool = True,
     kwargs: Sequence[str] = (),
     doc: Optional[str] = None,
+    complete_graph_only: bool = False,
 ) -> Callable[[Callable], Callable]:
     """Class the decorated entry point as algorithm ``name``.
 
@@ -250,6 +280,7 @@ def register_algorithm(
                 broadcastable=broadcastable,
                 kwargs=tuple(kwargs),
                 doc=summary,
+                complete_graph_only=complete_graph_only,
             )
         )
         return fn
@@ -526,3 +557,132 @@ def compatible_algorithms(task: str) -> List[str]:
     """Names of the algorithms that can run workload ``task``."""
     get_task(task)
     return [s.name for s in algorithm_specs() if s.supports_task(task)]
+
+
+# ----------------------------------------------------------------------
+# Topology registry
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """One registered contact topology (:mod:`repro.sim.topology`).
+
+    Parameters
+    ----------
+    name:
+        Public topology name (what ``broadcast(topology=...)``,
+        scenarios and the CLI use).
+    factory:
+        ``fn(**knobs) -> Topology`` — builds the frozen topology spec
+        (e.g. the :class:`~repro.sim.topology.Ring` dataclass itself).
+    kwargs:
+        Names of the keyword knobs the factory accepts (documented
+        surface for ``--topology-arg`` validation and
+        ``list-topologies``).
+    doc:
+        One-line description for catalogues.
+    complete:
+        Whether this is the complete graph — the default topology, the
+        one every algorithm supports and the one the fingerprint corpus
+        pins bit-identical.
+    """
+
+    name: str
+    factory: Callable[..., Any]
+    kwargs: Tuple[str, ...] = ()
+    doc: str = ""
+    complete: bool = False
+
+    def build(self, **topology_kwargs: Any):
+        """Construct the frozen topology spec, validating the knobs."""
+        unknown = set(topology_kwargs) - set(self.kwargs)
+        if unknown:
+            raise ValueError(
+                f"topology {self.name!r} does not accept {sorted(unknown)}; "
+                f"declared knobs are {sorted(self.kwargs)}"
+            )
+        return self.factory(**topology_kwargs)
+
+
+_TOPOLOGIES: Dict[str, TopologySpec] = {}
+
+
+def register_topology(spec: TopologySpec) -> TopologySpec:
+    """Register a topology spec (extension point for third-party graphs).
+
+    Same replace-vs-conflict rule as :func:`register_spec`: re-registering
+    an identical factory (an ``importlib.reload``) replaces the stale
+    spec; a different factory claiming a taken name is a conflict.
+    """
+    existing = _TOPOLOGIES.get(spec.name)
+    if existing is not None:
+        same_factory = (
+            getattr(existing.factory, "__module__", None)
+            == getattr(spec.factory, "__module__", object())
+            and getattr(existing.factory, "__qualname__", None)
+            == getattr(spec.factory, "__qualname__", object())
+        )
+        if not same_factory:
+            raise DuplicateTopologyError(
+                f"topology {spec.name!r} is already registered "
+                f"(by {existing.factory!r})"
+            )
+    _TOPOLOGIES[spec.name] = spec
+    return spec
+
+
+def unregister_topology(name: str) -> None:
+    """Remove a topology registration (tests and interactive use).  The
+    complete graph cannot be removed — it is the engine's default."""
+    spec = _TOPOLOGIES.get(name)
+    if spec is not None and spec.complete:
+        raise ValueError("the complete contact graph cannot be unregistered")
+    _TOPOLOGIES.pop(name, None)
+
+
+def get_topology_spec(name: str) -> TopologySpec:
+    """Look a topology up by name (:class:`UnknownTopologyError` on miss)."""
+    ensure_builtins_loaded()
+    try:
+        return _TOPOLOGIES[name]
+    except KeyError:
+        raise UnknownTopologyError(
+            f"unknown topology {name!r}; choose from {sorted(_TOPOLOGIES)}"
+        ) from None
+
+
+def make_topology(name: str, **topology_kwargs: Any):
+    """Build a frozen :class:`~repro.sim.topology.Topology` by name."""
+    return get_topology_spec(name).build(**topology_kwargs)
+
+
+def topology_specs() -> List[TopologySpec]:
+    """All registered topology specs, sorted by name."""
+    ensure_builtins_loaded()
+    return sorted(_TOPOLOGIES.values(), key=lambda s: s.name)
+
+
+def topology_names() -> List[str]:
+    """Registered topology names, sorted."""
+    return [s.name for s in topology_specs()]
+
+
+def supports_topology(algorithm: str, topology) -> bool:
+    """Whether ``algorithm`` may run on ``topology`` (a spec instance or
+    a registered name).  Unknown names raise — they are lookup errors,
+    not incompatibilities."""
+    spec = get_algorithm(algorithm)
+    if isinstance(topology, str):
+        topology = make_topology(topology)
+    return spec.supports_topology(topology)
+
+
+def compatible_topologies(algorithm: str) -> List[str]:
+    """Names of the registered topologies ``algorithm`` may run on."""
+    spec = get_algorithm(algorithm)
+    return [
+        t.name
+        for t in topology_specs()
+        if t.complete or not spec.complete_graph_only
+    ]

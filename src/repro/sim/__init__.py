@@ -16,7 +16,11 @@ This subpackage implements the communication model of Haeupler & Malkhi
   (:mod:`repro.sim.failures`);
 * dynamic adversity beyond the paper's static model — per-round churn,
   message loss, blackout windows and revivals, driven through the round
-  engine by declarative, picklable schedules (:mod:`repro.sim.dynamics`).
+  engine by declarative, picklable schedules (:mod:`repro.sim.dynamics`);
+* first-class contact topologies beyond the paper's complete graph —
+  ring, torus, random-regular and G(n, p) contact graphs with
+  liveness-aware CSR sampling, plus the ``direct_addressing`` mode knob
+  (:mod:`repro.sim.topology`).
 
 All hot paths are vectorised over numpy arrays of node indices.  The
 memory-lean mode (int32 index arrays, pooled per-round buffers, in-place
@@ -48,14 +52,27 @@ from repro.sim.messages import MessageSizes
 from repro.sim.metrics import Metrics, PhaseStats
 from repro.sim.network import Network
 from repro.sim.rng import make_rng, spawn_rngs
+from repro.sim.topology import (
+    CompleteGraph,
+    ContactGraph,
+    ErdosRenyiGnp,
+    RandomRegular,
+    Ring,
+    Topology,
+    Torus2D,
+    resolve_topology,
+)
 
 __all__ = [
     "AdversitySchedule",
     "BatchOutcome",
     "Blackout",
     "BufferPool",
+    "CompleteGraph",
+    "ContactGraph",
     "CrashAt",
     "CrashTrickle",
+    "ErdosRenyiGnp",
     "IdSpace",
     "MessageLoss",
     "MessageSizes",
@@ -63,9 +80,13 @@ __all__ = [
     "ModelViolation",
     "Network",
     "PhaseStats",
+    "RandomRegular",
     "ReviveAt",
+    "Ring",
     "Round",
     "Simulator",
+    "Topology",
+    "Torus2D",
     "make_rng",
     "parse_schedule",
     "random_targets_batch",
@@ -74,5 +95,6 @@ __all__ = [
     "receive_min_by_key",
     "receive_or",
     "resolve_schedule",
+    "resolve_topology",
     "spawn_rngs",
 ]

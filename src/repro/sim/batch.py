@@ -68,6 +68,11 @@ class BatchOutcome:
     #: Per-rep final task error (aggregation tasks only; None for the
     #: broadcast-shaped outcomes).
     task_error: Optional[np.ndarray] = None
+    #: Per-rep repaired task error (push-sum: error against the
+    #: surviving-mass target).  On the zero-adversity batch path no mass
+    #: is ever lost, so it equals ``task_error`` — carried anyway so
+    #: vector- and reset-engine summaries stream the same metrics.
+    task_error_repaired: Optional[np.ndarray] = None
 
     @property
     def reps(self) -> int:
@@ -91,6 +96,8 @@ class BatchOutcome:
         }
         if self.task_error is not None:
             scalars["task_error"] = float(self.task_error[rep])
+        if self.task_error_repaired is not None:
+            scalars["task_error_repaired"] = float(self.task_error_repaired[rep])
         return scalars
 
 
@@ -138,6 +145,25 @@ def resolve_sources(
 
 
 # ----------------------------------------------------------------------
+# Task schedules shared with the sequential task layer
+# ----------------------------------------------------------------------
+
+
+def uniform_round_cap(n: int) -> int:
+    """The generic uniform-gossip task schedule: ``O(log n)`` with the
+    same additive slack the PUSH baseline uses (Pittel's bound shape).
+    Shared between :mod:`repro.tasks.state` and the batch runners here
+    so both execution shapes run identical schedules."""
+    return math.ceil(math.log2(max(n, 2)) + math.log(max(n, 2))) + 12
+
+
+def k_rumor_round_cap(n: int, k: int) -> int:
+    """The k-rumor schedule: each rumor spreads like an independent
+    PUSH/PULL epidemic; a union bound over ``k`` adds a ``log k`` term."""
+    return uniform_round_cap(n) + math.ceil(math.log2(k + 1))
+
+
+# ----------------------------------------------------------------------
 # Push-sum averaging (task "push-sum"), batched
 # ----------------------------------------------------------------------
 
@@ -166,6 +192,7 @@ def batched_push_sum(
     source: "int | None" = 0,
     tol: float = 1e-3,
     value_bits: int = PUSH_SUM_VALUE_BITS,
+    restore_mass: bool = False,
     max_rounds: "int | None" = None,
 ) -> BatchOutcome:
     """Kempe-style push-sum averaging, ``reps`` replications at once.
@@ -184,7 +211,11 @@ def batched_push_sum(
     the uniform batch-runner signature but unused — push-sum has no rumor
     and no distinguished source.
     """
-    del message_bits, source  # uniform batch-runner signature, unused
+    # message_bits/source are part of the uniform batch-runner signature
+    # but push-sum has no rumor and no distinguished source; restore_mass
+    # (the sequential engine's repair knob) is moot on this zero-adversity
+    # path — no node ever crashes, revives, or loses mass.
+    del message_bits, source, restore_mass
     if reps < 1:
         raise ValueError(f"reps must be positive, got {reps}")
     cap = max_rounds if max_rounds is not None else push_sum_round_cap(n, tol)
@@ -244,4 +275,240 @@ def batched_push_sum(
         informed_counts=within.sum(axis=1),
         success=completion >= 0,
         task_error=err,
+        # No adversity on the batch path: the surviving mass is all the
+        # mass, so the repaired target is exactly the initial mean.
+        task_error_repaired=err.copy(),
+    )
+
+
+# ----------------------------------------------------------------------
+# k-rumor all-cast (task "k-rumor"), batched
+# ----------------------------------------------------------------------
+
+
+def batched_k_rumor(
+    n: int,
+    reps: int,
+    rng: np.random.Generator,
+    *,
+    message_bits: int = 256,
+    source: "int | None" = 0,
+    k: int = 4,
+    max_rounds: "int | None" = None,
+) -> BatchOutcome:
+    """k-rumor all-cast over uniform PUSH-PULL, ``reps`` replications at
+    once in ``(reps, n, k)`` arrays.
+
+    Mirrors the sequential :class:`~repro.tasks.state.KRumorState` over
+    :func:`~repro.tasks.transports.run_uniform_task`: rumor 0 starts at
+    ``source`` (or a uniform node per replication when ``source=None``),
+    the other ``k - 1`` at distinct uniform nodes; each round content
+    holders push their whole rumor set (a ``k``-bit presence bitmap plus
+    ``count * message_bits`` payload), the empty-handed pull, and every
+    node receiving a message ORs the sender's round-start snapshot into
+    its own set.  Completed replications freeze (no further contacts, no
+    further charges), matching the sequential early stop.
+
+    Memory note: the work arrays are ``(R, n, k)`` bool — chunking in
+    :func:`repro.core.broadcast.run_replications` bounds ``R * n``, so
+    keep ``batch_elems`` proportionally smaller for very large ``k``.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be positive, got {reps}")
+    if k < 1:
+        raise ValueError(f"k must be positive, got {k}")
+    if k > n:
+        raise ValueError(f"k={k} sources exceed {n} nodes")
+    cap = max_rounds if max_rounds is not None else k_rumor_round_cap(n, k)
+    rumor_bits = int(message_bits)
+
+    holds = np.zeros((reps, n, k), dtype=bool)
+    first = resolve_sources(source, reps, n, rng)
+    rows = np.arange(reps, dtype=np.int64)
+    holds[rows, first, 0] = True
+    if k > 1:
+        # The k-1 extra sources: distinct uniform nodes per replication,
+        # excluding rumor 0's source (smallest random scores win).
+        scores = rng.random((reps, n))
+        scores[rows, first] = np.inf
+        extra = np.argpartition(scores, k - 2, axis=1)[:, : k - 1]
+        holds[rows[:, None], extra, np.arange(1, k)[None, :]] = True
+
+    rounds = np.zeros(reps, dtype=np.int64)
+    messages = np.zeros(reps, dtype=np.int64)
+    bits = np.zeros(reps, dtype=np.int64)
+    max_fanin = np.zeros(reps, dtype=np.int64)
+    completion = np.full(reps, -1, dtype=np.int64)
+    active = ~holds.all(axis=(1, 2))
+    completion[~active] = 0
+
+    for step in range(cap):
+        act = np.flatnonzero(active)
+        a = len(act)
+        if a == 0:
+            break
+        # Synchronous semantics: fancy indexing already yields a fresh
+        # round-start snapshot (mutations land in holds_act / holds).
+        snap = holds[act]
+        content = snap.any(axis=2)  # (a, n)
+        counts = snap.sum(axis=2, dtype=np.int64)  # rumors carried
+        targets = random_targets_batch(rng, a, n)
+        offsets = (np.arange(a, dtype=np.int64) * n)[:, None]
+        flat_t = (targets.astype(np.int64) + offsets).ravel()
+
+        holds_act = holds[act]
+        flat_holds = holds_act.reshape(a * n, k)
+        # Push lane: holders push their whole set; receivers OR.  One
+        # bincount per rumor covers the round for every replication.
+        push_flat = content.ravel()
+        for j in range(k):
+            sending_j = push_flat & snap[:, :, j].ravel()
+            if sending_j.any():
+                got = np.bincount(flat_t[sending_j], minlength=a * n) > 0
+                flat_holds[:, j] |= got
+        # Pull lane: the empty-handed pull; content-holding targets
+        # answer with their snapshot set (each puller appears once, so a
+        # direct OR-in suffices).
+        target_content = content.ravel()[flat_t].reshape(a, n)
+        responded = ~content & target_content
+        resp_flat = responded.ravel()
+        if resp_flat.any():
+            flat_holds[resp_flat] |= snap.reshape(a * n, k)[flat_t[resp_flat]]
+        holds[act] = holds_act
+
+        pushes = content.sum(axis=1, dtype=np.int64)
+        responses = responded.sum(axis=1, dtype=np.int64)
+        messages[act] += pushes + responses
+        # Bits: k-bit presence bitmap + carried rumors, per push and per
+        # answered pull (the responder's snapshot payload).
+        payload = k + counts * rumor_bits
+        bits[act] += (payload * content).sum(axis=1)
+        flat_payload = payload.ravel()
+        resp_bits = np.where(resp_flat, flat_payload[flat_t], 0)
+        bits[act] += resp_bits.reshape(a, n).sum(axis=1)
+        rounds[act] += 1
+        max_fanin[act] = np.maximum(
+            max_fanin[act], per_rep_max_fanin(flat_t, a, n)
+        )
+
+        done = holds[act].all(axis=(1, 2))
+        newly = act[done]
+        completion[newly] = step + 1
+        active[newly] = False
+
+    complete_nodes = holds.all(axis=2).sum(axis=1)
+    return BatchOutcome(
+        algorithm="push-pull",
+        n=n,
+        rounds=rounds,
+        completion_round=completion,
+        messages=messages,
+        bits=bits,
+        max_fanin=max_fanin,
+        informed_counts=complete_nodes,
+        success=completion >= 0,
+        task_error=1.0 - holds.mean(axis=(1, 2)),
+    )
+
+
+def _k_rumor_elements_per_node(task_kwargs: dict) -> int:
+    """k-rumor's work arrays are ``(R, n, k)``, not ``(R, n)``."""
+    return max(1, int(task_kwargs.get("k", 4)))
+
+
+#: Chunking weight consulted by ``run_replications``: the element budget
+#: (``batch_elems``) bounds ``R * n * elements_per_node``, so the
+#: ``(R, n, k)`` runner gets proportionally smaller batches instead of
+#: blowing the scale tier's memory budget at large k.
+batched_k_rumor.elements_per_node = _k_rumor_elements_per_node
+
+
+# ----------------------------------------------------------------------
+# Min/max dissemination (task "min-max"), batched
+# ----------------------------------------------------------------------
+
+
+def batched_min_max(
+    n: int,
+    reps: int,
+    rng: np.random.Generator,
+    *,
+    message_bits: int = 256,
+    source: "int | None" = 0,
+    mode: str = "min",
+    value_bits: int = PUSH_SUM_VALUE_BITS,
+    max_rounds: "int | None" = None,
+) -> BatchOutcome:
+    """Min/max dissemination over uniform gossip, ``reps`` replications
+    at once in ``(reps, n)`` arrays.
+
+    Mirrors the sequential :class:`~repro.tasks.state.ExtremeState`:
+    every node starts with a uniform ``[0, 1)`` value, everyone pushes
+    its round-start best to a uniform random other node each round
+    (the idempotent aggregate puts every node on the push lane), and a
+    replication completes when every node holds the global extreme.
+    ``message_bits`` and ``source`` are accepted for the uniform
+    batch-runner signature but unused — there is no rumor and no
+    distinguished source.
+    """
+    del message_bits, source  # uniform batch-runner signature, unused
+    if reps < 1:
+        raise ValueError(f"reps must be positive, got {reps}")
+    if mode not in ("min", "max"):
+        raise ValueError(f"mode must be 'min' or 'max', got {mode!r}")
+    cap = max_rounds if max_rounds is not None else uniform_round_cap(n)
+    merge_at = np.minimum.at if mode == "min" else np.maximum.at
+    reduce_best = np.min if mode == "min" else np.max
+    bits_per_msg = int(value_bits)
+
+    values = rng.random((reps, n))
+    best = values.copy()
+    target = reduce_best(values, axis=1)
+
+    rounds = np.zeros(reps, dtype=np.int64)
+    messages = np.zeros(reps, dtype=np.int64)
+    bits = np.zeros(reps, dtype=np.int64)
+    max_fanin = np.zeros(reps, dtype=np.int64)
+    completion = np.full(reps, -1, dtype=np.int64)
+    active = ~(best == target[:, None]).all(axis=1)
+    completion[~active] = 0
+
+    for step in range(cap):
+        act = np.flatnonzero(active)
+        a = len(act)
+        if a == 0:
+            break
+        snap = best[act]  # fancy indexing: already a fresh snapshot
+        targets = random_targets_batch(rng, a, n)
+        offsets = (np.arange(a, dtype=np.int64) * n)[:, None]
+        flat_t = (targets.astype(np.int64) + offsets).ravel()
+
+        flat_best = best[act].reshape(-1)
+        merge_at(flat_best, flat_t, snap.ravel())
+        best[act] = flat_best.reshape(a, n)
+
+        rounds[act] += 1
+        messages[act] += n
+        bits[act] += n * bits_per_msg
+        max_fanin[act] = np.maximum(
+            max_fanin[act], per_rep_max_fanin(flat_t, a, n)
+        )
+
+        done = (best[act] == target[act, None]).all(axis=1)
+        newly = act[done]
+        completion[newly] = step + 1
+        active[newly] = False
+
+    holding = (best == target[:, None]).sum(axis=1)
+    return BatchOutcome(
+        algorithm="push-pull",
+        n=n,
+        rounds=rounds,
+        completion_round=completion,
+        messages=messages,
+        bits=bits,
+        max_fanin=max_fanin,
+        informed_counts=holding,
+        success=completion >= 0,
+        task_error=1.0 - holding / float(n),
     )

@@ -220,22 +220,25 @@ class Round:
     # Declaring operations
     # ------------------------------------------------------------------
 
-    def _arrival_mask(self, dsts: np.ndarray) -> np.ndarray:
-        """Per-message mask of targets that exist and are alive.
+    def _arrival_mask(self, srcs: np.ndarray, dsts: np.ndarray) -> np.ndarray:
+        """Per-message mask of targets that exist, are alive, and are
+        connectable.
 
-        On the static path every declared target is a valid index and the
-        mask is just the alive table.  Under a dynamics timeline a caller
-        may address a *stale* target (e.g. a follow pointer reconciled to
-        ``UNCLUSTERED`` after a mid-run crash): such messages go into the
-        void — charged as sent, delivered nowhere.
+        On the static complete-graph path every declared target is a
+        valid index and the mask is just the alive table — the untouched
+        hot path.  Under a dynamics timeline a caller may address a
+        *stale* target (e.g. a follow pointer reconciled to
+        ``UNCLUSTERED`` after a mid-run crash); on a restricted topology
+        a caller with no alive neighbor declares the ``-1`` sentinel,
+        and under ``direct_addressing="topology"`` a learned address
+        outside the caller's neighborhood does not connect.  All such
+        messages go into the void — charged as sent, delivered nowhere
+        (:meth:`repro.sim.network.Network.connection_mask`).
         """
         net = self._sim.net
-        if self._sim.dynamics is None:
+        if self._sim.dynamics is None and not net.topology_restricted:
             return net.alive[dsts]
-        valid = (dsts >= 0) & (dsts < net.n)
-        if valid.all():
-            return net.alive[dsts]
-        return valid & net.alive[np.where(valid, dsts, 0)]
+        return net.connection_mask(srcs, dsts)
 
     def push(
         self,
@@ -274,7 +277,7 @@ class Round:
             srcs, dsts = srcs[alive_src], dsts[alive_src]
             if not isinstance(bits, int):
                 bits = bits[alive_src]
-        delivered = self._arrival_mask(dsts)
+        delivered = self._arrival_mask(srcs, dsts)
         dyn = self._sim.dynamics
         if dyn is not None:
             keep = dyn.push_survival(len(dsts))
@@ -334,7 +337,7 @@ class Round:
             srcs, dsts, responds = srcs[alive_src], dsts[alive_src], responds[alive_src]
             if not isinstance(bits, int):
                 bits = bits[alive_src]
-        arrived = self._arrival_mask(dsts)
+        arrived = self._arrival_mask(srcs, dsts)
         dyn = self._sim.dynamics
         masks = dyn.pull_survival(len(dsts)) if dyn is not None else None
         if masks is None:

@@ -24,6 +24,7 @@ import numpy as np
 from repro.sim.ids import IdSpace
 from repro.sim.messages import MessageSizes
 from repro.sim.rng import SeedLike, make_rng
+from repro.sim.topology import ADDRESSING_MODES, ContactGraph, Topology, resolve_topology
 
 
 def resolve_index_dtype(n: int, index_dtype: "np.dtype | str | None") -> np.dtype:
@@ -69,6 +70,21 @@ class Network:
         network.  Random draws are always made at ``int64`` and then
         narrowed, so the RNG stream — and therefore every simulation
         result — is bit-identical across index dtypes.
+    topology:
+        Contact topology (:mod:`repro.sim.topology`): a frozen
+        :class:`~repro.sim.topology.Topology` spec, a registered name,
+        or ``None`` for the paper's complete graph.  The complete graph
+        binds no adjacency and keeps :meth:`random_targets` on its
+        historical (bit-identical) path; every other topology
+        materialises a :class:`~repro.sim.topology.ContactGraph` from
+        this network's construction stream (after the uids), so random
+        graphs are re-sampled per seed.
+    direct_addressing:
+        ``"global"`` (the paper's model, default): a learned address is
+        routable regardless of the contact graph.  ``"topology"``: a
+        direct call only connects along a contact-graph edge — calls to
+        non-neighbors go into the void (charged, undelivered).  See
+        :meth:`connection_mask`.
     """
 
     def __init__(
@@ -79,13 +95,26 @@ class Network:
         rumor_bits: int = 256,
         id_space_exponent: int = 3,
         index_dtype: "np.dtype | str | None" = None,
+        topology: "Topology | str | None" = None,
+        direct_addressing: str = "global",
     ) -> None:
         if n < 2:
             raise ValueError(f"a network needs at least 2 nodes, got n={n}")
+        if direct_addressing not in ADDRESSING_MODES:
+            raise ValueError(
+                f"direct_addressing must be one of {ADDRESSING_MODES}, "
+                f"got {direct_addressing!r}"
+            )
         self.n = int(n)
         self.index_dtype = resolve_index_dtype(self.n, index_dtype)
+        self.topology = resolve_topology(topology)
+        self.direct_addressing = direct_addressing
         self.id_space = IdSpace(self.n, id_space_exponent)
-        self.uid = self.id_space.assign(make_rng(rng))
+        gen = make_rng(rng)
+        self.uid = self.id_space.assign(gen)
+        #: The bound contact graph; ``None`` on the complete topology
+        #: (no CSR is ever built — see :mod:`repro.sim.topology`).
+        self.graph: Optional[ContactGraph] = self.topology.bind(self.n, gen)
         self.alive = np.ones(self.n, dtype=bool)
         self.sizes = MessageSizes(
             self.n, rumor_bits=rumor_bits, id_space_exponent=id_space_exponent
@@ -102,12 +131,57 @@ class Network:
         ``uid`` and ``alive`` arrays (the only O(n) state) are rewritten
         rather than reallocated, so a replication suite pays construction
         cost once instead of once per seed.  The liveness epoch advances,
-        invalidating every per-epoch cache held by consumers.
+        invalidating every per-epoch cache held by consumers.  A bound
+        *random* contact graph is re-materialised from the new stream
+        (random topologies are per-seed), exactly as a fresh
+        construction would; deterministic topologies (ring, torus) keep
+        their bound graph — their bind ignores the stream and would
+        rebuild an identical CSR, so reuse is bit-identical and free.
         """
-        self.id_space.assign(make_rng(rng), out=self.uid)
+        gen = make_rng(rng)
+        self.id_space.assign(gen, out=self.uid)
+        if self.graph is not None and not self.topology.deterministic:
+            self.graph = self.topology.bind(self.n, gen)
         self.alive.fill(True)
         self._liveness_epoch += 1
         return self
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    @property
+    def topology_restricted(self) -> bool:
+        """True when random contacts are limited to a bound graph."""
+        return self.graph is not None
+
+    @property
+    def routes_restricted(self) -> bool:
+        """True when even *direct-addressed* calls must follow edges
+        (``direct_addressing="topology"`` on a non-complete graph)."""
+        return self.graph is not None and self.direct_addressing == "topology"
+
+    def connection_mask(self, srcs: np.ndarray, dsts: np.ndarray) -> np.ndarray:
+        """Per-pair mask of *establishable* connections.
+
+        A connection is established iff the target exists (stale direct
+        addresses and the ``-1`` nobody-to-call sentinel fail), is
+        alive, and — under ``direct_addressing="topology"`` — lies
+        along a contact-graph edge.  This is the engine's arrival rule
+        on every non-fast path, and what connection-oriented task
+        transports consult before staging content.
+        """
+        dsts = np.asarray(dsts)
+        valid = (dsts >= 0) & (dsts < self.n)
+        if valid.all():
+            # The common case even under dynamics: every declared target
+            # is a real index, so the existence test collapses away.
+            ok = self.alive[dsts]
+        else:
+            ok = valid & self.alive[np.where(valid, dsts, 0)]
+        if self.routes_restricted:
+            ok = ok & self.graph.reachable(srcs, dsts)
+        return ok
 
     # ------------------------------------------------------------------
     # Liveness / failures
@@ -221,7 +295,29 @@ class Network:
 
         Draws are always made at ``int64`` (so the RNG stream is the same
         for every index dtype) and narrowed to ``index_dtype`` on return.
+
+        On a restricted topology the draw delegates to the bound
+        graph's liveness-aware :meth:`~repro.sim.topology.ContactGraph.
+        sample_contacts`: each caller dials a uniform random *alive*
+        neighbor (``-1`` when it has none — the engine voids such
+        contacts).  ``exclude`` then names the callers and is required;
+        self-exclusion is structural (no self-loops).
         """
+        if self.graph is not None:
+            if exclude is None:
+                raise ValueError(
+                    "topology-restricted sampling draws from each caller's "
+                    "neighborhood; pass the caller indices via exclude="
+                )
+            callers = np.asarray(exclude)
+            if callers.shape != (count,):
+                raise ValueError(
+                    f"exclude has shape {callers.shape}, expected ({count},)"
+                )
+            targets = self.graph.sample_contacts(
+                callers, rng, alive=self.alive, epoch=self._liveness_epoch
+            )
+            return targets.astype(self.index_dtype, copy=False)
         if exclude is None:
             targets = rng.integers(0, self.n, size=count, dtype=np.int64)
             return targets.astype(self.index_dtype, copy=False)

@@ -1,0 +1,515 @@
+"""First-class contact topologies: who *can* phone whom.
+
+The paper's random phone call model runs on the complete graph — every
+node can dial every other node, and :meth:`repro.sim.network.Network.
+random_targets` draws targets uniformly from all of them.  This module
+makes that choice explicit and swappable: a **topology** is a frozen,
+picklable spec (:class:`CompleteGraph`, :class:`Ring`, :class:`Torus2D`,
+:class:`RandomRegular`, :class:`ErdosRenyiGnp`) that a
+:class:`~repro.sim.network.Network` binds into a :class:`ContactGraph` —
+a CSR adjacency structure with a vectorised, liveness-aware
+:meth:`ContactGraph.sample_contacts`.
+
+Semantics
+---------
+* **Random contacts** are drawn uniformly from the caller's *alive*
+  neighbors.  Liveness awareness is a per-epoch re-mask of the CSR
+  arrays: the alive-restricted neighbor lists are rebuilt lazily
+  whenever :attr:`Network.liveness_epoch` moves (a Section 8 pre-run
+  failure pattern, or mid-run churn from an
+  :class:`~repro.sim.dynamics.AdversitySchedule`), so a node never
+  wastes its one call per round on a neighbor it can observe is gone.
+  A caller whose whole neighborhood is dead gets the sentinel ``-1``
+  ("nobody to call"); the engine treats such contacts as charged but
+  undeliverable, the cost of being partitioned.
+* **Direct addressing** is a :class:`~repro.sim.network.Network`-level
+  mode, not a graph property: with ``direct_addressing="global"`` (the
+  paper's model) a learned address is routable regardless of the
+  contact graph; with ``"topology"`` a direct call only connects along
+  an edge — :meth:`ContactGraph.reachable` is the engine's membership
+  oracle.
+* The **complete graph never materialises a CSR** (it would be
+  ``O(n^2)``): :class:`CompleteGraph` binds to ``None`` and
+  ``Network.random_targets`` keeps its historical single-draw path, so
+  the default topology is bit-identical to the pre-topology engine
+  (pinned by the fingerprint corpus) and pays no per-edge memory.
+
+Random graphs (:class:`RandomRegular`, :class:`ErdosRenyiGnp`) are
+materialised from the network's own seed stream at bind time, so every
+replication seed gets its own independently sampled graph and results
+stay bit-identical across the broadcast / reset-replication / parallel
+sweep execution shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import ClassVar, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Base class of the frozen topology specs.
+
+    A spec is pure configuration — picklable, hashable, safe inside a
+    :class:`~repro.analysis.runner.RunSpec` — and :meth:`bind` turns it
+    into per-``n`` adjacency state.  ``complete`` marks the one spec
+    whose bind is the no-CSR fast path.  ``deterministic`` marks specs
+    whose :meth:`bind` ignores (and must not consume) the stream — the
+    replication layer then keeps the bound graph across
+    :meth:`~repro.sim.network.Network.reset` seeds instead of
+    rebuilding an identical CSR per replication.
+    """
+
+    name: ClassVar[str] = "topology"
+    complete: ClassVar[bool] = False
+    deterministic: ClassVar[bool] = False
+
+    def bind(self, n: int, rng: np.random.Generator) -> "Optional[ContactGraph]":
+        """Materialise the adjacency for an ``n``-node network.
+
+        ``rng`` is the network's construction stream (uids are assigned
+        from it first); deterministic graphs must not consume it, so
+        the complete-graph stream — and therefore every pre-topology
+        result — is untouched.
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable form for reports and catalogues."""
+        return self.name
+
+
+class ContactGraph:
+    """A bound contact topology: CSR adjacency + liveness-aware sampling.
+
+    ``indptr``/``indices`` are the usual CSR arrays (neighbor lists
+    sorted ascending, no self-loops, symmetric).  ``sample_contacts``
+    draws one uniform *alive* neighbor per caller; the alive-restricted
+    CSR is cached per liveness epoch, so static executions re-mask once
+    and churn-heavy ones re-mask exactly when the epoch moves.
+    """
+
+    def __init__(self, name: str, n: int, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.name = name
+        self.n = int(n)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        if self.indptr.shape != (self.n + 1,):
+            raise ValueError("indptr must have shape (n + 1,)")
+        self.degrees = np.diff(self.indptr)
+        self._edge_keys_cache: Optional[np.ndarray] = None
+        self._alive_epoch: Optional[int] = None
+        self._alive_indptr = self.indptr
+        self._alive_indices = self.indices
+        self._alive_counts = self.degrees
+
+    # -- structure ------------------------------------------------------
+
+    @property
+    def _edge_keys(self) -> np.ndarray:
+        """Sorted flat edge keys ``src * n + dst`` — the membership
+        oracle behind :meth:`reachable`.  Built lazily on first use:
+        only ``direct_addressing="topology"`` runs ever consult it, so
+        the default global-addressing path never pays the O(E) array.
+        """
+        if self._edge_keys_cache is None:
+            self._edge_keys_cache = (
+                np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+                * self.n
+                + self.indices
+            )
+        return self._edge_keys_cache
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """The (sorted) neighbor list of ``node``."""
+        return self.indices[self.indptr[node] : self.indptr[node + 1]]
+
+    def reachable(self, srcs: np.ndarray, dsts: np.ndarray) -> np.ndarray:
+        """Per-pair mask: is ``(srcs[i], dsts[i])`` an edge?
+
+        Out-of-range destinations (the ``-1`` nobody-to-call sentinel,
+        stale direct addresses under dynamics) are unreachable.  This is
+        the membership oracle the engine consults under
+        ``direct_addressing="topology"``.
+        """
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        valid = (dsts >= 0) & (dsts < self.n)
+        keys = srcs * self.n + np.where(valid, dsts, 0)
+        pos = np.searchsorted(self._edge_keys, keys)
+        pos = np.minimum(pos, len(self._edge_keys) - 1) if len(self._edge_keys) else pos
+        if len(self._edge_keys) == 0:
+            return np.zeros(len(dsts), dtype=bool)
+        return valid & (self._edge_keys[pos] == keys)
+
+    # -- liveness-aware sampling ---------------------------------------
+
+    def _remask(self, alive: np.ndarray, epoch: Optional[int]) -> None:
+        """Rebuild the alive-restricted CSR (cached per liveness epoch)."""
+        if epoch is not None and epoch == self._alive_epoch:
+            return
+        keep = alive[self.indices]
+        if keep.all():
+            self._alive_indptr = self.indptr
+            self._alive_indices = self.indices
+            self._alive_counts = self.degrees
+        else:
+            running = np.concatenate(([0], np.cumsum(keep, dtype=np.int64)))
+            counts = running[self.indptr[1:]] - running[self.indptr[:-1]]
+            self._alive_indptr = np.concatenate(
+                ([0], np.cumsum(counts, dtype=np.int64))
+            )
+            self._alive_indices = self.indices[keep]
+            self._alive_counts = counts
+        self._alive_epoch = epoch
+
+    def alive_degree(self, callers: np.ndarray, alive: np.ndarray, epoch: Optional[int] = None) -> np.ndarray:
+        """Number of alive neighbors per caller (epoch-cached)."""
+        self._remask(alive, epoch)
+        return self._alive_counts[np.asarray(callers, dtype=np.int64)]
+
+    def sample_contacts(
+        self,
+        callers: np.ndarray,
+        rng: np.random.Generator,
+        *,
+        alive: Optional[np.ndarray] = None,
+        epoch: Optional[int] = None,
+    ) -> np.ndarray:
+        """One uniform random alive neighbor per caller (vectorised).
+
+        Returns an int64 array parallel to ``callers``; entries are
+        ``-1`` for callers with no alive neighbor.  With ``alive=None``
+        every node counts as alive (the structural draw).  Draws are a
+        single ``rng.integers`` call for the whole batch — no
+        Python-level per-node loop.
+        """
+        callers = np.asarray(callers, dtype=np.int64)
+        if alive is None:
+            indptr, indices, counts = self.indptr, self.indices, self.degrees[callers]
+        else:
+            self._remask(np.asarray(alive, dtype=bool), epoch)
+            indptr, indices = self._alive_indptr, self._alive_indices
+            counts = self._alive_counts[callers]
+        draws = rng.integers(0, np.maximum(counts, 1), size=len(callers), dtype=np.int64)
+        targets = np.full(len(callers), -1, dtype=np.int64)
+        has = counts > 0
+        if has.any():
+            pos = indptr[callers[has]] + draws[has]
+            targets[has] = indices[pos]
+        return targets
+
+
+def _csr_from_edges(n: int, u: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Symmetric CSR arrays from an undirected edge list (both ends)."""
+    src = np.concatenate([u, v])
+    dst = np.concatenate([v, u])
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(np.bincount(src, minlength=n))
+    return indptr, dst.astype(np.int64, copy=False)
+
+
+@dataclass(frozen=True)
+class CompleteGraph(Topology):
+    """The paper's setting: everyone can phone everyone.
+
+    Binds to ``None`` — no CSR is ever built, and the network keeps its
+    historical uniform-draw path, bit-identical to the pre-topology
+    engine.
+    """
+
+    name: ClassVar[str] = "complete"
+    complete: ClassVar[bool] = True
+    deterministic: ClassVar[bool] = True
+
+    def bind(self, n: int, rng: np.random.Generator) -> None:
+        return None
+
+
+@dataclass(frozen=True)
+class Ring(Topology):
+    """A ring with window ``k``: node ``i`` sees ``i ± 1 .. i ± k``.
+
+    The slowest classical gossip topology — broadcast needs
+    ``Theta(n / k)`` rounds — and therefore the far end of the
+    complete → expander → ring degree spectrum the E16 bench walks.
+    """
+
+    name: ClassVar[str] = "ring"
+    deterministic: ClassVar[bool] = True
+    k: int = 1
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"ring window k must be >= 1, got {self.k}")
+
+    def bind(self, n: int, rng: np.random.Generator) -> ContactGraph:
+        if n <= 2 * self.k:
+            raise ValueError(
+                f"ring window k={self.k} needs n > 2k nodes, got n={n}"
+            )
+        nodes = np.arange(n, dtype=np.int64)
+        offsets = np.arange(1, self.k + 1, dtype=np.int64)
+        u = np.repeat(nodes, self.k)
+        v = (u + np.tile(offsets, n)) % n
+        indptr, indices = _csr_from_edges(n, u, v)
+        return ContactGraph(self.describe(), n, indptr, indices)
+
+    def describe(self) -> str:
+        return f"ring(k={self.k})"
+
+
+@dataclass(frozen=True)
+class Torus2D(Topology):
+    """A 2D torus (wrap-around grid), 4 neighbors per node.
+
+    ``n`` is factored into the most-square ``rows x cols`` grid (the
+    largest divisor pair); a prime ``n`` degenerates to a ``1 x n``
+    ring, which :meth:`bind` rejects to keep the name honest.
+    """
+
+    name: ClassVar[str] = "torus"
+    deterministic: ClassVar[bool] = True
+
+    @staticmethod
+    def dims(n: int) -> Tuple[int, int]:
+        """The most-square ``(rows, cols)`` factorisation of ``n``."""
+        rows = int(math.isqrt(n))
+        while rows > 1 and n % rows:
+            rows -= 1
+        return rows, n // rows
+
+    def bind(self, n: int, rng: np.random.Generator) -> ContactGraph:
+        rows, cols = self.dims(n)
+        if rows < 3 or cols < 3:
+            raise ValueError(
+                f"torus needs a rows x cols factorisation with both sides "
+                f">= 3; n={n} factors as {rows} x {cols}"
+            )
+        nodes = np.arange(n, dtype=np.int64)
+        r, c = nodes // cols, nodes % cols
+        right = r * cols + (c + 1) % cols
+        down = ((r + 1) % rows) * cols + c
+        u = np.concatenate([nodes, nodes])
+        v = np.concatenate([right, down])
+        indptr, indices = _csr_from_edges(n, u, v)
+        return ContactGraph(self.describe(), n, indptr, indices)
+
+    def describe(self) -> str:
+        return "torus"
+
+
+@dataclass(frozen=True)
+class RandomRegular(Topology):
+    """A random ``d``-regular graph (configuration model with repair).
+
+    Half-edge stubs are paired uniformly; self-loops and duplicate
+    edges are re-shuffled (together with a matching number of good
+    pairs, so repair cannot stall) until the graph is simple.  For
+    ``d >= 3`` the result is an expander w.h.p. — the sparse topology
+    on which gossip still spreads in ``O(log n)`` rounds.
+    """
+
+    name: ClassVar[str] = "random-regular"
+    d: int = 8
+    #: Repair sweeps before giving up and dropping the remaining bad
+    #: pairs (reached only at adversarially tiny n; each sweep fixes
+    #: the vast majority of collisions).
+    max_repair_sweeps: ClassVar[int] = 200
+
+    def __post_init__(self) -> None:
+        if self.d < 1:
+            raise ValueError(f"degree d must be >= 1, got {self.d}")
+
+    def bind(self, n: int, rng: np.random.Generator) -> ContactGraph:
+        if self.d >= n:
+            raise ValueError(f"degree d={self.d} needs n > d nodes, got n={n}")
+        if (n * self.d) % 2:
+            raise ValueError(
+                f"random-regular needs n * d even, got n={n}, d={self.d}"
+            )
+        stubs = np.repeat(np.arange(n, dtype=np.int64), self.d)
+        rng.shuffle(stubs)
+        for _ in range(self.max_repair_sweeps):
+            u, v = stubs[0::2], stubs[1::2]
+            bad = self._bad_pairs(n, u, v)
+            if not bad.any():
+                break
+            bad_idx = np.flatnonzero(bad)
+            good_idx = np.flatnonzero(~bad)
+            take = min(len(good_idx), len(bad_idx))
+            mix = (
+                rng.choice(good_idx, size=take, replace=False)
+                if take
+                else np.empty(0, dtype=np.int64)
+            )
+            sel = np.concatenate([bad_idx, mix])
+            positions = np.concatenate([2 * sel, 2 * sel + 1])
+            pool = stubs[positions]
+            rng.shuffle(pool)
+            stubs[positions] = pool
+        u, v = stubs[0::2], stubs[1::2]
+        keep = ~self._bad_pairs(n, u, v)
+        indptr, indices = _csr_from_edges(n, u[keep], v[keep])
+        return ContactGraph(self.describe(), n, indptr, indices)
+
+    @staticmethod
+    def _bad_pairs(n: int, u: np.ndarray, v: np.ndarray) -> np.ndarray:
+        """Mask of pairs that are self-loops or duplicate edges."""
+        bad = u == v
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        keys = lo * n + hi
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        dup_sorted = np.flatnonzero(sorted_keys[1:] == sorted_keys[:-1]) + 1
+        bad[order[dup_sorted]] = True
+        return bad
+
+    def describe(self) -> str:
+        return f"random-regular(d={self.d})"
+
+
+@dataclass(frozen=True)
+class ErdosRenyiGnp(Topology):
+    """Erdős–Rényi ``G(n, p)``.
+
+    ``p=None`` (the default) resolves at bind time to ``2 ln n / n`` —
+    comfortably above the ``ln n / n`` connectivity threshold, so the
+    sampled graph is connected w.h.p. while staying ``O(n log n)``
+    edges.  Isolated vertices (possible at small ``n`` or tiny ``p``)
+    simply have nobody to call.
+    """
+
+    name: ClassVar[str] = "gnp"
+    p: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.p is not None and not 0.0 < self.p <= 1.0:
+            raise ValueError(f"edge probability p must be in (0, 1], got {self.p}")
+
+    def bind(self, n: int, rng: np.random.Generator) -> ContactGraph:
+        p = self.p if self.p is not None else min(1.0, 2.0 * math.log(n) / n)
+        total = n * (n - 1) // 2
+        m = int(rng.binomial(total, p))
+        # Sample m distinct pair ranks without materialising the O(n^2)
+        # pair space: over-draw, deduplicate, top up, then subsample
+        # uniformly back to m (np.unique sorts, so a plain [:m] would
+        # bias toward small ranks).
+        chosen = np.unique(rng.integers(0, total, size=int(m * 1.1) + 16))
+        while len(chosen) < m:
+            extra = rng.integers(0, total, size=m - len(chosen) + 16)
+            chosen = np.unique(np.concatenate([chosen, extra]))
+        if len(chosen) > m:
+            chosen = rng.choice(chosen, size=m, replace=False)
+        u, v = self._unrank(n, chosen)
+        indptr, indices = _csr_from_edges(n, u, v)
+        return ContactGraph(self.describe(), n, indptr, indices)
+
+    @staticmethod
+    def _unrank(n: int, ranks: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Map upper-triangle linear ranks to ``(i, j)`` pairs, ``i < j``."""
+        def row_start(row: np.ndarray) -> np.ndarray:
+            return row * (2 * n - row - 1) // 2
+
+        k = ranks.astype(np.int64)
+        b = 2 * n - 1
+        i = np.floor((b - np.sqrt(b * b - 8.0 * ranks.astype(np.float64))) / 2.0)
+        i = i.astype(np.int64)
+        # Float unranking can land one row off at boundaries; nudge back.
+        i = np.where(k < row_start(i), i - 1, i)
+        i = np.where(k >= row_start(i + 1), i + 1, i)
+        j = k - row_start(i) + i + 1
+        return i, j
+
+    def describe(self) -> str:
+        return "gnp" if self.p is None else f"gnp(p={self.p:g})"
+
+
+#: The default topology — shared instance so identity checks are cheap.
+COMPLETE = CompleteGraph()
+
+#: Valid ``direct_addressing`` modes (a Network-level knob, see module
+#: docstring): ``"global"`` is the paper's model, ``"topology"``
+#: restricts learned addresses to the contact graph's edges.
+ADDRESSING_MODES = ("global", "topology")
+
+
+def resolve_topology(spec: "Topology | str | None") -> Topology:
+    """Normalise a topology argument to a spec instance.
+
+    ``None`` is the complete graph; a string is looked up in the
+    registry catalogue (no-argument form — parameterised topologies are
+    built with :func:`repro.registry.make_topology` or constructed
+    directly).
+    """
+    if spec is None:
+        return COMPLETE
+    if isinstance(spec, Topology):
+        return spec
+    if isinstance(spec, str):
+        from repro.registry import make_topology
+
+        return make_topology(spec)
+    raise TypeError(
+        f"topology must be a Topology spec, a registered name, or None; "
+        f"got {type(spec).__name__}"
+    )
+
+
+def _register_builtin_topologies() -> None:
+    """Register the shipped topologies in the registry catalogue."""
+    from repro.registry import TopologySpec, register_topology
+
+    for spec in (
+        TopologySpec(
+            name="complete",
+            factory=CompleteGraph,
+            kwargs=(),
+            doc="The paper's complete graph (the default): anyone can "
+            "phone anyone; bit-identical to the pre-topology engine.",
+            complete=True,
+        ),
+        TopologySpec(
+            name="ring",
+            factory=Ring,
+            kwargs=("k",),
+            doc="Ring with window k (2k neighbors): the Theta(n/k)-round "
+            "worst case for gossip.",
+        ),
+        TopologySpec(
+            name="torus",
+            factory=Torus2D,
+            kwargs=(),
+            doc="2D wrap-around grid, 4 neighbors: Theta(sqrt(n)) gossip "
+            "diameter.",
+        ),
+        TopologySpec(
+            name="random-regular",
+            factory=RandomRegular,
+            kwargs=("d",),
+            doc="Random d-regular graph (configuration model): a sparse "
+            "expander, O(log n) gossip w.h.p.",
+        ),
+        TopologySpec(
+            name="gnp",
+            factory=ErdosRenyiGnp,
+            kwargs=("p",),
+            doc="Erdős–Rényi G(n, p); default p = 2 ln n / n, connected "
+            "w.h.p.",
+        ),
+    ):
+        register_topology(spec)
+
+
+_register_builtin_topologies()

@@ -37,9 +37,10 @@ register_task(
         name="push-sum",
         factory=PushSumState,
         category="aggregation",
-        kwargs=("tol", "value_bits"),
+        kwargs=("tol", "value_bits", "restore_mass"),
         doc="Push-sum averaging (Kempe et al.): value/weight mass pairs; "
-        "done when every estimate is within relative tol of the mean.",
+        "done when every estimate is within relative tol of the mean; "
+        "restore_mass=true re-injects unit weight at revived nodes.",
     )
 )
 

@@ -33,22 +33,20 @@ broadcast baselines use.
 from __future__ import annotations
 
 import abc
-import math
 from typing import Dict, Optional
 
 import numpy as np
 
-from repro.sim.batch import PUSH_SUM_VALUE_BITS, push_sum_round_cap
+from repro.sim.batch import (
+    PUSH_SUM_VALUE_BITS,
+    k_rumor_round_cap,
+    push_sum_round_cap,
+    uniform_round_cap,
+)
 
 #: Weights below this are "no mass": a push-sum node that extracted its
 #: whole mass (cluster gather) holds no estimate until the scatter phase.
 WEIGHT_FLOOR = 1e-12
-
-
-def _uniform_round_cap(n: int) -> int:
-    """The generic uniform-gossip schedule: ``O(log n)`` with the same
-    additive slack the PUSH baseline uses (Pittel's bound shape)."""
-    return math.ceil(math.log2(max(n, 2)) + math.log(max(n, 2))) + 12
 
 
 class TaskState(abc.ABC):
@@ -67,6 +65,16 @@ class TaskState(abc.ABC):
         self.n = int(n)
 
     # -- round bracket --------------------------------------------------
+
+    def sync_liveness(self, alive: np.ndarray) -> None:
+        """Observe the liveness table before a round is planned.
+
+        Transports call this once per driven round (before
+        :meth:`begin_round`), so states that care about membership
+        transitions — push-sum's mass-restoration variant re-injecting
+        weight at ``ReviveAt``-rejoined nodes — see every revival at the
+        round boundary it takes effect.  The default is a no-op.
+        """
 
     def begin_round(self) -> None:
         """Snapshot the round-start view payloads and responses read."""
@@ -162,6 +170,15 @@ class TaskState(abc.ABC):
     def error(self, alive: np.ndarray) -> float:
         """Distance from completion over the alive nodes (task semantics)."""
 
+    def error_breakdown(self, alive: np.ndarray) -> Dict[str, float]:
+        """Additional named error figures for the final report.
+
+        Keys land in the report's ``extras`` next to ``task_error`` (and
+        stream through the replication layer when recognised there).
+        Default: none.
+        """
+        return {}
+
     def progress(self, alive: np.ndarray) -> float:
         """A scalar in [0, 1] for traces."""
         idx = np.flatnonzero(alive)
@@ -170,8 +187,9 @@ class TaskState(abc.ABC):
         return float(self.completion_mask()[idx].mean())
 
     def round_cap(self, n: int) -> int:
-        """Default uniform-transport schedule length."""
-        return _uniform_round_cap(n)
+        """Default uniform-transport schedule length (shared with the
+        batch runners in :mod:`repro.sim.batch`)."""
+        return uniform_round_cap(n)
 
     def extras(self) -> Dict[str, object]:
         """Task-specific scalars for the report's ``extras``."""
@@ -251,9 +269,7 @@ class KRumorState(TaskState):
         return float(1.0 - self.holds[idx].mean())
 
     def round_cap(self, n: int) -> int:
-        # Each rumor spreads like an independent PUSH/PULL epidemic; a
-        # union bound over k adds a log k term to the usual schedule.
-        return _uniform_round_cap(n) + math.ceil(math.log2(self.k + 1))
+        return k_rumor_round_cap(n, self.k)
 
     def extras(self) -> Dict[str, object]:
         return {"task_k": self.k}
@@ -268,6 +284,16 @@ class PushSumState(TaskState):
     the true mean wherever mass mixes.  Estimates are tracked separately
     from mass: a cluster scatter disseminates the leader's *estimate*
     without moving mass.
+
+    ``restore_mass=True`` models a system with repair: a node revived by
+    a :class:`~repro.sim.dynamics.ReviveAt` event re-joins as a fresh
+    participant, re-injecting unit weight and its original value (its
+    pre-crash mass, wherever it ended up, is untouched).  Every run
+    reports two errors: the *biased* one against the initial mean (what
+    an operator who remembers the original population sees — mass lost
+    to churn and loss windows drifts it) and the *repaired* one against
+    the current self-consistent target ``sum(v) / sum(w)`` over the
+    surviving mass, which is where the protocol actually converges.
     """
 
     task = "push-sum"
@@ -281,6 +307,7 @@ class PushSumState(TaskState):
         source: Optional[int] = 0,
         tol: float = 1e-3,
         value_bits: int = PUSH_SUM_VALUE_BITS,
+        restore_mass: bool = False,
     ) -> None:
         super().__init__(net.n)
         if not 0 < tol < 1:
@@ -288,6 +315,7 @@ class PushSumState(TaskState):
         del message_bits, source  # no rumor, no distinguished source
         self.tol = float(tol)
         self.value_bits = int(value_bits)
+        self.restore_mass = bool(restore_mass)
         self.values = rng.random(self.n)
         alive = net.alive
         self.mu = float(self.values[alive].mean()) if alive.any() else 0.0
@@ -297,6 +325,17 @@ class PushSumState(TaskState):
         self.est = np.full(self.n, np.nan)
         self.end_round()  # initial estimates = own value
         self._est_snap = self.est.copy()
+        self._prev_alive = alive.copy()
+        self.mass_restored = 0
+
+    def sync_liveness(self, alive: np.ndarray) -> None:
+        revived = alive & ~self._prev_alive
+        if revived.any() and self.restore_mass:
+            self.v[revived] = self.values[revived]
+            self.w[revived] = 1.0
+            self.est[revived] = self.values[revived]
+            self.mass_restored += int(revived.sum())
+        np.copyto(self._prev_alive, alive)
 
     def begin_round(self) -> None:
         np.copyto(self._est_snap, self.est)
@@ -368,11 +407,45 @@ class PushSumState(TaskState):
             return 0.0
         return float(self._rel_err()[idx].max())
 
+    def repaired_target(self, alive: np.ndarray) -> float:
+        """The self-consistent mean of the surviving injected mass.
+
+        Push-sum converges to ``sum(v) / sum(w)`` over whatever mass is
+        still mixing; churn (and, with ``restore_mass``, re-injection)
+        moves that target away from the initial ``mu``.  Measured over
+        the alive mass holders; falls back to ``mu`` when no alive node
+        holds mass.
+        """
+        mass = (self.w > WEIGHT_FLOOR) & np.asarray(alive, dtype=bool)
+        total_w = float(self.w[mass].sum())
+        if total_w <= WEIGHT_FLOOR:
+            return self.mu
+        return float(self.v[mass].sum()) / total_w
+
+    def error_breakdown(self, alive: np.ndarray) -> Dict[str, float]:
+        """The repaired error: max relative distance of the alive
+        estimates from :meth:`repaired_target` (the biased error against
+        the initial mean is ``error()``)."""
+        idx = np.flatnonzero(alive)
+        if len(idx) == 0:
+            return {"task_error_repaired": 0.0}
+        target = self.repaired_target(alive)
+        scale = max(abs(target), 1e-12)
+        held = np.isfinite(self.est[idx])
+        if not held.all():
+            return {"task_error_repaired": float("inf")}
+        repaired = float(np.abs(self.est[idx] - target).max() / scale)
+        return {"task_error_repaired": repaired}
+
     def round_cap(self, n: int) -> int:
         return push_sum_round_cap(n, self.tol)
 
     def extras(self) -> Dict[str, object]:
-        return {"task_mu": self.mu, "task_tol": self.tol}
+        out: Dict[str, object] = {"task_mu": self.mu, "task_tol": self.tol}
+        if self.restore_mass:
+            out["task_restore_mass"] = True
+            out["task_mass_restored"] = self.mass_restored
+        return out
 
 
 class ExtremeState(TaskState):

@@ -57,12 +57,16 @@ def _staged_push(sim: Simulator, state: TaskState, round_, srcs, dsts, extract=F
     target is dead observes the failed connection (the engine never
     delivers it), so mass-moving states only stage content over
     *established* connections — a push-sum node dialling a crashed node
-    keeps its mass and retries next round.  In-transit message loss (an
-    active loss window) is invisible to the sender: that mass is staged
-    and genuinely lost.  The attempt is still declared (and charged) for
-    every caller, exactly like the broadcast baselines.
+    keeps its mass and retries next round.  The same observation covers
+    topology restrictions (:mod:`repro.sim.topology`): a ``-1``
+    nobody-to-call sentinel or an unreachable direct address under
+    ``direct_addressing="topology"`` never establishes, so no mass is
+    staged over it.  In-transit message loss (an active loss window) is
+    invisible to the sender: that mass is staged and genuinely lost.
+    The attempt is still declared (and charged) for every caller,
+    exactly like the broadcast baselines.
     """
-    connected = sim.net.alive[dsts]
+    connected = sim.net.connection_mask(srcs, dsts)
     stage = state.begin_extract if extract else state.begin_push
     token = stage(srcs[connected])
     delivery = round_.push(srcs, dsts, state.payload_bits(srcs))
@@ -100,6 +104,7 @@ def _finish_report(
         task=state.task,
         task_error=state.error(alive),
         converged=state.done(alive),
+        **state.error_breakdown(alive),
         **state.extras(),
     )
 
@@ -132,6 +137,7 @@ def run_uniform_task(
             alive = sim.net.alive_indices()
             if len(alive) == 0:
                 break
+            state.sync_liveness(sim.net.alive)
             state.begin_round()
             if state.all_push():
                 pushers, pullers = alive, nothing
@@ -210,6 +216,7 @@ def run_cluster_task(
     with sim.metrics.phase("task-gather"):
         for _ in range(2 if sim.dynamics is not None else 1):
             followers = cl.followers()
+            state.sync_liveness(sim.net.alive)
             state.begin_round()
             senders = followers[state.has_content(followers)]
             with sim.round("TaskGather") as r:
@@ -231,6 +238,7 @@ def run_cluster_task(
                 break
             if state.completion_mask()[lead].all():
                 break
+            state.sync_liveness(sim.net.alive)
             state.begin_round()
             senders = holders[state.has_content(holders)]
             with sim.round("TaskMix:push") as r:
@@ -261,6 +269,7 @@ def run_cluster_task(
     with sim.metrics.phase("task-scatter"):
         followers = cl.followers()
         if len(followers):
+            state.sync_liveness(sim.net.alive)
             state.begin_round()
             leaders_of = cl.follow[followers]
             with sim.round("TaskScatter") as r:
@@ -281,6 +290,7 @@ def run_cluster_task(
             if state.done(alive):
                 break
             pending = np.flatnonzero(alive & ~state.completion_mask())
+            state.sync_liveness(alive)
             state.begin_round()
             dsts = sim.random_targets(pending)
             with sim.round("TaskCatchup") as r:

@@ -26,6 +26,7 @@ from repro.core.broadcast import broadcast
 from repro.core.result import AlgorithmReport
 from repro.registry import get_algorithm, get_task
 from repro.sim.dynamics import AdversitySchedule, resolve_schedule
+from repro.sim.topology import ADDRESSING_MODES, RandomRegular, Ring, Topology, resolve_topology
 
 
 @dataclass(frozen=True)
@@ -52,6 +53,10 @@ class Scenario:
     #: implicit single-rumor broadcast.
     task: str = "broadcast"
     task_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Contact topology (a frozen Topology spec or a registered name);
+    #: None is the paper's complete graph.
+    topology: "Topology | str | None" = None
+    direct_addressing: str = "global"
     #: Default replication count for :func:`replicate_suite`.
     reps: int = 1
     #: Heavy (large-n) presets are skipped by whole-catalogue sweeps and
@@ -86,8 +91,21 @@ class Scenario:
                 f"{sorted(unknown_task)}; declared knobs are "
                 f"{sorted(task_spec.kwargs)}"
             )
-        # Normalise preset names / spec strings to a frozen schedule.
+        # Normalise preset names / spec strings to frozen specs, and
+        # gate the (algorithm, topology) pair like broadcast() would.
         object.__setattr__(self, "schedule", resolve_schedule(self.schedule))
+        object.__setattr__(self, "topology", resolve_topology(self.topology))
+        if self.direct_addressing not in ADDRESSING_MODES:
+            raise ValueError(
+                f"scenario {self.name!r}: direct_addressing must be one of "
+                f"{ADDRESSING_MODES}, got {self.direct_addressing!r}"
+            )
+        if not spec.supports_topology(self.topology):
+            raise ValueError(
+                f"scenario {self.name!r}: algorithm {self.algorithm!r} only "
+                f"runs on the complete contact graph, not "
+                f"{self.topology.describe()!r}"
+            )
 
     def run_spec(self, seed: int = 0, reps: int = 1, engine: str = "auto") -> RunSpec:
         """Compile to one executor job (``reps > 1``: a replication job)."""
@@ -101,6 +119,8 @@ class Scenario:
             schedule=self.schedule,
             task=self.task,
             task_kwargs=dict(self.task_kwargs),
+            topology=self.topology,
+            direct_addressing=self.direct_addressing,
             reps=reps,
             engine=engine,
             kwargs=dict(self.kwargs),
@@ -117,6 +137,8 @@ class Scenario:
             schedule=self.schedule,
             task=self.task,
             task_kwargs=dict(self.task_kwargs),
+            topology=self.topology,
+            direct_addressing=self.direct_addressing,
             seed=seed,
         )
         args.update(self.kwargs)
@@ -326,6 +348,49 @@ for _scenario in [
         algorithm="cluster2",
         message_bits=256,
         task="min-max",
+    ),
+    # ------------------------------------------------------------------
+    # Topology presets (repro.sim.topology): the same algorithms and
+    # tasks once the complete contact graph is gone.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="ring-broadcast",
+        description=(
+            "PUSH-PULL on a k=4 ring: the Theta(n/k) worst case — the "
+            "far end of the degree spectrum E16 walks."
+        ),
+        n=2**9,
+        algorithm="push-pull",
+        message_bits=256,
+        topology=Ring(k=4),
+        kwargs={"max_rounds": 200},
+    ),
+    Scenario(
+        name="sparse-regular-aggregation",
+        description=(
+            "Push-sum averaging on a random 8-regular contact graph: "
+            "aggregation still mixes in O(log n) rounds on a sparse "
+            "expander."
+        ),
+        n=2**11,
+        algorithm="push-pull",
+        message_bits=256,
+        task="push-sum",
+        task_kwargs={"tol": 1e-2},
+        topology=RandomRegular(d=8),
+    ),
+    Scenario(
+        name="expander-vs-complete",
+        description=(
+            "Cluster2 on a random 16-regular expander with global "
+            "direct addressing: within a few rounds and messages of "
+            "the complete-graph membership-update preset — what "
+            "learned addresses buy once the complete graph is gone."
+        ),
+        n=2**12,
+        algorithm="cluster2",
+        message_bits=512,
+        topology=RandomRegular(d=16),
     ),
     # ------------------------------------------------------------------
     # Scale tier (heavy): production-sized networks, run by name through

@@ -25,6 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.core.broadcast import ReplicationEngine, broadcast
+from repro.registry import make_topology
 
 FINGERPRINT_DIR = Path(__file__).parent / "fingerprints"
 
@@ -42,9 +43,10 @@ def _load_corpora() -> "dict[Path, dict]":
 
 def _case_id(path: Path, case: dict) -> str:
     schedule = case.get("schedule") or "static"
+    topology = f":{case['topology']}" if case.get("topology") else ""
     return (
         f"{path.stem}:{case['algorithm']}:n={case['n']}:seed={case['seed']}"
-        f":{schedule}"
+        f":{schedule}{topology}"
     )
 
 
@@ -57,12 +59,19 @@ _CASES = [
 
 
 def _execute(case: dict, shape: str):
+    topology = None
+    if case.get("topology"):
+        topology = make_topology(
+            case["topology"], **case.get("topology_kwargs", {})
+        )
     config = dict(
         source=case.get("source", 0),
         message_bits=case.get("message_bits", 256),
         failures=case.get("failures", 0),
         failure_pattern=case.get("failure_pattern", "random"),
         schedule=case.get("schedule"),
+        topology=topology,
+        direct_addressing=case.get("direct_addressing", "global"),
     )
     if shape == "broadcast":
         return broadcast(case["n"], case["algorithm"], seed=case["seed"], **config)

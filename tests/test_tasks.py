@@ -209,10 +209,20 @@ class TestTaskReplication:
             == "reset"
         )
 
-    def test_vector_unavailable_for_other_tasks(self):
+    def test_vector_available_for_all_push_pull_tasks(self):
+        # Every built-in task now has a push-pull batch runner (push-sum
+        # since PR 4, k-rumor and min-max since the topology PR).
+        for task in ("k-rumor", "min-max", "push-sum"):
+            summary = run_replications(
+                256, "push-pull", reps=2, task=task, engine="auto"
+            )
+            assert summary.engine == "vector"
+
+    def test_vector_unavailable_without_a_task_batch_runner(self):
+        # The push baseline has a task transport but no batch runners.
         with pytest.raises(ValueError, match="vector engine unavailable"):
             run_replications(
-                256, "push-pull", reps=2, task="k-rumor", engine="vector"
+                256, "push", reps=2, task="k-rumor", engine="vector"
             )
 
     def test_unknown_task_kwarg_uniform_across_engines(self):
@@ -287,3 +297,190 @@ class TestTaskScenarios:
                 name="bad", description="", n=256, algorithm="pull",
                 message_bits=64, task="push-sum",
             )
+
+
+class TestVectorisedTaskRunners:
+    """The batched k-rumor and min-max executors (repro.sim.batch):
+    statistically equivalent to the reset engine, deterministic, and
+    schedule-identical — the same contract the push-sum batch runner
+    pinned in PR 4."""
+
+    def test_k_rumor_statistically_equivalent_to_reset(self):
+        vec = run_replications(
+            512, "push-pull", reps=60, task="k-rumor",
+            task_kwargs={"k": 8}, engine="vector",
+        )
+        seq = run_replications(
+            512, "push-pull", reps=60, task="k-rumor",
+            task_kwargs={"k": 8}, engine="reset",
+        )
+        assert vec.success_rate == seq.success_rate == 1.0
+        assert abs(vec.spread_rounds.mean - seq.spread_rounds.mean) < 1.5
+        assert abs(
+            vec.messages_per_node.mean - seq.messages_per_node.mean
+        ) < 0.1 * seq.messages_per_node.mean
+        assert abs(
+            vec.bits_per_node.mean - seq.bits_per_node.mean
+        ) < 0.1 * seq.bits_per_node.mean
+
+    def test_min_max_statistically_equivalent_to_reset(self):
+        vec = run_replications(
+            512, "push-pull", reps=60, task="min-max", engine="vector"
+        )
+        seq = run_replications(
+            512, "push-pull", reps=60, task="min-max", engine="reset"
+        )
+        assert vec.success_rate == seq.success_rate == 1.0
+        assert abs(vec.spread_rounds.mean - seq.spread_rounds.mean) < 1.5
+        # All-push semantics: exactly one message per node per active
+        # round in both engines.
+        assert abs(
+            vec.messages_per_node.mean - seq.messages_per_node.mean
+        ) < 0.1 * seq.messages_per_node.mean
+        assert abs(
+            vec.bits_per_node.mean - seq.bits_per_node.mean
+        ) < 0.1 * seq.bits_per_node.mean
+
+    def test_batched_task_runners_deterministic(self):
+        for task, kwargs in [("k-rumor", {"k": 4}), ("min-max", {})]:
+            a = run_replications(
+                256, "push-pull", reps=20, task=task,
+                task_kwargs=kwargs, engine="vector",
+            )
+            b = run_replications(
+                256, "push-pull", reps=20, task=task,
+                task_kwargs=kwargs, engine="vector",
+            )
+            assert a.row() == b.row()
+
+    def test_batched_k_rumor_chunked_covers_all_reps(self):
+        s = run_replications(
+            256, "push-pull", reps=11, task="k-rumor",
+            task_kwargs={"k": 4}, engine="vector", batch_elems=256 * 4,
+        )
+        assert s.reps == 11 and s.success_rate == 1.0
+
+    def test_batched_k_rumor_distinct_sources(self):
+        from repro.sim.batch import batched_k_rumor
+        from repro.sim.rng import make_rng
+
+        out = batched_k_rumor(64, 5, make_rng(0), k=16, max_rounds=0)
+        # k distinct sources: exactly k held rumors at round 0, never
+        # fewer (a collision would merge two columns onto one node).
+        assert (out.informed_counts == 0).all()  # nobody complete yet
+        assert (out.task_error == 1.0 - 16 / (64.0 * 16)).all()
+
+    def test_batched_min_max_mode_max(self):
+        from repro.sim.batch import batched_min_max
+        from repro.sim.rng import make_rng
+
+        out = batched_min_max(128, 10, make_rng(0), mode="max")
+        assert out.success.all()
+        with pytest.raises(ValueError, match="mode"):
+            batched_min_max(128, 2, make_rng(0), mode="median")
+
+
+class TestPushSumMassRestoration:
+    """The restore_mass variant: ReviveAt-rejoined nodes re-inject unit
+    weight, and every push-sum report carries both the biased error
+    (against the initial mean) and the repaired error (against the
+    surviving-mass target)."""
+
+    SCHEDULE = "crash@2:0.3,revive@6:0.3"
+
+    def test_both_errors_reported(self):
+        report = broadcast(512, "push-pull", seed=1, task="push-sum")
+        assert "task_error" in report.extras
+        assert "task_error_repaired" in report.extras
+        # Zero adversity: no mass lost, the two targets coincide.
+        assert report.extras["task_error"] == pytest.approx(
+            report.extras["task_error_repaired"], rel=1e-6
+        )
+
+    def test_restoration_reinjects_weight(self):
+        restored = broadcast(
+            512, "push-pull", seed=3, task="push-sum",
+            task_kwargs={"tol": 5e-2, "restore_mass": True},
+            schedule=self.SCHEDULE,
+        )
+        assert restored.extras["task_restore_mass"] is True
+        assert restored.extras["task_mass_restored"] > 0
+
+    def test_repaired_error_beats_biased_under_churn(self):
+        # Crash 30% (their mass goes inert), revive them with fresh unit
+        # mass: the estimates converge to the surviving-mass target, so
+        # the repaired error ends small while the biased error keeps the
+        # drift. Averaged over seeds — single runs are noisy.
+        biased, repaired = [], []
+        for seed in range(5):
+            r = broadcast(
+                512, "push-pull", seed=seed, task="push-sum",
+                task_kwargs={"tol": 1e-3, "restore_mass": True},
+                schedule=self.SCHEDULE,
+            )
+            biased.append(r.extras["task_error"])
+            repaired.append(r.extras["task_error_repaired"])
+        assert np.mean(repaired) < np.mean(biased)
+
+    def test_without_restoration_revived_mass_returns(self):
+        # Default semantics: a revived node resumes with whatever mass
+        # it held at crash time — no re-injection is recorded.
+        r = broadcast(
+            512, "push-pull", seed=3, task="push-sum",
+            task_kwargs={"tol": 5e-2}, schedule=self.SCHEDULE,
+        )
+        assert "task_restore_mass" not in r.extras
+
+    def test_replication_summary_streams_both_errors(self):
+        summary = run_replications(
+            256, "push-pull", reps=4, task="push-sum",
+            task_kwargs={"restore_mass": True, "tol": 5e-2},
+            schedule=self.SCHEDULE,
+        )
+        assert "task_error" in summary.metrics
+        assert "task_error_repaired" in summary.metrics
+        row = summary.row()
+        assert "task_error_repaired_mean" in row
+
+    def test_vector_engine_streams_repaired_too(self):
+        summary = run_replications(
+            256, "push-pull", reps=6, task="push-sum", engine="vector"
+        )
+        assert "task_error_repaired" in summary.metrics
+
+    def test_restore_mass_over_cluster_transport(self):
+        report = broadcast(
+            1024, "cluster2", seed=0, task="push-sum",
+            task_kwargs={"tol": 5e-2, "restore_mass": True},
+            schedule=self.SCHEDULE,
+        )
+        assert "task_error_repaired" in report.extras
+
+
+class TestNoTransportErrorShape:
+    """The no-registered-transport failure is a clear ValueError naming
+    the pair — never a deep KeyError — on every entry path."""
+
+    def test_broadcast_raises_clear_valueerror(self):
+        with pytest.raises(ValueError, match="no registered task transport"):
+            broadcast(256, "cluster3", task="push-sum")
+        with pytest.raises(IncompatibleTaskError, match="compatible algorithms"):
+            broadcast(256, "avin-elsasser", task="k-rumor")
+
+    def test_replication_paths_raise_clear_valueerror(self):
+        for engine in ("auto", "reset", "rebuild"):
+            with pytest.raises(ValueError, match="no registered task transport"):
+                run_replications(
+                    256, "cluster3", reps=2, task="min-max", engine=engine
+                )
+
+    def test_cli_run_prints_clean_error(self, capsys):
+        from repro.cli import main as cli_main
+
+        rc = cli_main(
+            ["run", "--n", "256", "--algorithm", "cluster3", "--task", "push-sum"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "error:" in captured.err
+        assert "no registered task transport" in captured.err
