@@ -8,6 +8,7 @@ value, so parallelism is purely a wall-clock lever).
 
 from __future__ import annotations
 
+import json
 import os
 from typing import List, Sequence
 
@@ -22,11 +23,17 @@ from repro.analysis.runner import (
 from repro.analysis.tables import Table
 from repro.core.result import AlgorithmReport
 
+#: Repo root (BENCH_<exp>.json trajectory files land here).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 #: Where tables are written (repo-root results/ when run from the repo).
-RESULTS_DIR = os.environ.get(
-    "REPRO_RESULTS_DIR",
-    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "results"),
-)
+RESULTS_DIR = os.environ.get("REPRO_RESULTS_DIR", os.path.join(REPO_ROOT, "results"))
+
+#: Experiment ids emitted since collection started, in order — the
+#: benchmarks conftest drains this to stamp each experiment's
+#: machine-readable trajectory file with the generating test's
+#: wall-clock and peak RSS.
+EMITTED_EXPERIMENTS: List[str] = []
 
 #: Seeds used by every experiment (w.h.p. claims need several).
 SEEDS = [0, 1, 2]
@@ -83,7 +90,32 @@ def bench_spec(algorithm: str, n: int, seed: int, **kw) -> RunSpec:
 def emit(table: Table, exp_id: str, fmt: str = "text") -> str:
     """Print the table and persist it under results/ (``fmt`` as in
     :meth:`repro.analysis.tables.Table.save`)."""
+    EMITTED_EXPERIMENTS.append(exp_id)
     return table.emit(exp_id, RESULTS_DIR, fmt=fmt)
+
+
+def trajectory_note(experiment: str, **fields) -> str:
+    """Merge ``fields`` into ``BENCH_<experiment>.json`` at the repo root.
+
+    The trajectory files are the machine-readable perf record of one
+    bench run — schema: ``experiment``, ``config``, ``wall_clock_s``,
+    ``per_rep_ms`` (benches that time per-replication work), and
+    ``peak_rss_mib``.  The harness conftest stamps the generic timing
+    fields for every emitted experiment; benches with richer figures
+    (speedup ratios, per-engine per-rep ms) call this directly to merge
+    them in.  Returns the file path.
+    """
+    path = os.path.join(REPO_ROOT, f"BENCH_{experiment}.json")
+    data = {}
+    if os.path.exists(path):
+        with open(path) as fh:
+            data = json.load(fh)
+    data["experiment"] = experiment
+    data.update(fields)
+    with open(path, "w") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
 
 
 def rounds_table(rows: List[AggregateRow], title: str, caption: str = "") -> Table:

@@ -142,6 +142,42 @@ class StreamingSummary:
         frac = pos - lo
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
+    def merge(self, other: "StreamingSummary") -> "StreamingSummary":
+        """Fold another stream's state into this one (shard combine).
+
+        Count, mean and M2 merge with the parallel-variance combine
+        (Chan et al.), so mean/variance match single-stream aggregation
+        of the concatenated observations to float rounding; min/max and
+        count merge exactly.  The quantile buffers concatenate and then
+        decimate back under the memory bound, so quantiles remain what
+        they already were: exact while everything fits at stride 1,
+        approximate beyond.  Returns ``self``.
+        """
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self._samples = list(other._samples)
+            self._stride = other._stride
+            return self
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+        self._samples = self._samples + list(other._samples)
+        self._stride = max(self._stride, other._stride)
+        while len(self._samples) > self._max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+        return self
+
     def to_summary(self) -> Summary:
         """Freeze into the batch :class:`Summary` shape."""
         if self.count == 0:
@@ -225,6 +261,16 @@ class ReplicationSummary:
             self.metrics.setdefault("task_error_repaired", StreamingSummary())
         for name, value in values.items():
             self.metrics[name].push(value)
+
+    def merge(self, other: "ReplicationSummary") -> "ReplicationSummary":
+        """Fold another summary (one shard of the same configuration)
+        into this one in place; metric streams combine via
+        :meth:`StreamingSummary.merge`.  Returns ``self``."""
+        self.reps += other.reps
+        self.successes += other.successes
+        for name, stream in other.metrics.items():
+            self.metrics.setdefault(name, StreamingSummary()).merge(stream)
+        return self
 
     @property
     def success_rate(self) -> float:

@@ -111,6 +111,7 @@ def batched_push_pull(
     message_bits: int = 256,
     source: "int | None" = 0,
     max_rounds: "int | None" = None,
+    graph=None,
 ) -> BatchOutcome:
     """PUSH-PULL over its full w.h.p. schedule, ``reps`` replications at
     once in ``(reps, n)`` arrays (see :mod:`repro.sim.batch`).
@@ -122,6 +123,12 @@ def batched_push_pull(
     fan-in.  All replications run the same fixed schedule, so the batch
     stays rectangular and one set of numpy ops per round advances — and
     accounts — all of them.
+
+    With a bound :class:`~repro.sim.topology.ContactGraph` (``graph``),
+    contacts come from :meth:`~repro.sim.topology.ContactGraph.sample_contacts_batch`
+    instead of the uniform draw: an isolated node's ``-1`` contact is a
+    charged-but-undelivered push (and an unanswered pull), exactly the
+    engine's restricted-topology rule.
     """
     if reps < 1:
         raise ValueError(f"reps must be positive, got {reps}")
@@ -131,30 +138,43 @@ def batched_push_pull(
     informed[np.arange(reps), sources] = True
 
     row_offsets = (np.arange(reps, dtype=np.int64) * n)[:, None]
+    all_nodes = np.arange(n, dtype=np.int64)
     messages = np.zeros(reps, dtype=np.int64)
     max_fanin = np.zeros(reps, dtype=np.int64)
     completion = np.full(reps, -1, dtype=np.int64)
     flat_informed = informed.ravel()  # view — stays in sync with `informed`
 
     for step in range(cap):
-        targets = random_targets_batch(rng, reps, n)
-        flat_t = (targets + row_offsets).ravel()
+        if graph is None:
+            targets = random_targets_batch(rng, reps, n)
+            valid = None
+            flat_t = (targets + row_offsets).ravel()
+            arrived = flat_t
+        else:
+            targets = graph.sample_contacts_batch(reps, all_nodes, rng)
+            valid = (targets >= 0).ravel()
+            flat_t = (np.where(targets >= 0, targets, 0) + row_offsets).ravel()
+            arrived = flat_t[valid]
         # Synchronous semantics: responders and push senders act on the
         # informed set as of the round's start.
-        target_informed = flat_informed[flat_t].reshape(reps, n)
+        target_informed = flat_informed[flat_t]
+        if valid is not None:
+            target_informed = target_informed & valid
+        target_informed = target_informed.reshape(reps, n)
         pushers = informed.copy()
         pull_hits = ~informed & target_informed  # answered pulls, per puller
 
-        # Metrics: pushes + answered pulls are the content messages; every
-        # contact (all n per rep — everyone initiates) arrives, so fan-in
-        # is the per-target contact count.
+        # Metrics: pushes + answered pulls are the content messages (a
+        # void -1 push is still charged); every arrived contact counts
+        # toward its target's fan-in.
         pushes = pushers.sum(axis=1)
         responses = pull_hits.sum(axis=1)
         messages += pushes + responses
-        np.maximum(max_fanin, per_rep_max_fanin(flat_t, reps, n), out=max_fanin)
+        np.maximum(max_fanin, per_rep_max_fanin(arrived, reps, n), out=max_fanin)
 
         # Deliveries.
-        flat_informed[flat_t[pushers.ravel()]] = True
+        deliver = pushers.ravel() if valid is None else pushers.ravel() & valid
+        flat_informed[flat_t[deliver]] = True
         informed |= pull_hits
 
         done = informed.all(axis=1)
@@ -193,3 +213,7 @@ def push_pull_task_transport(
 register_batch_runner("push-pull", task="push-sum")(batched_push_sum)
 register_batch_runner("push-pull", task="k-rumor")(batched_k_rumor)
 register_batch_runner("push-pull", task="min-max")(batched_min_max)
+
+#: run_replications threads the bound contact graph into the vector call
+#: for runners that advertise restricted-topology support.
+batched_push_pull.supports_topology = True

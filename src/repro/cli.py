@@ -228,6 +228,7 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
         topology=_topology_from_args(args),
         direct_addressing=args.direct_addressing,
         consume=consume,
+        workers=args.workers,
     )
     print(_replication_table([summary], f"{args.reps} replications").render())
     return 0 if summary.success_rate > 0 else 1
@@ -540,6 +541,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="replication engine: vector = batched (R,n) executor, reset = "
         "memory-lean sequential (bit-identical to single runs), rebuild = "
         "the legacy per-seed loop, auto = best available",
+    )
+    p_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="W",
+        help="shard the replications across W worker processes (the shard "
+        "plan is worker-count independent, so any W yields the same "
+        "summary; incompatible with --stream)",
     )
     _add_dynamics_flags(p_run)
     _add_topology_flags(p_run)

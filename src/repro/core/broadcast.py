@@ -406,6 +406,8 @@ def run_replications(
     check_model: bool = True,
     consume: Optional[Callable[[dict], None]] = None,
     batch_elems: int = DEFAULT_BATCH_ELEMS,
+    workers: Optional[int] = None,
+    _seed_offset: int = 0,
     **algorithm_kwargs: Any,
 ) -> ReplicationSummary:
     """Fan one configuration across ``reps`` seeds, aggregating as a stream.
@@ -439,6 +441,22 @@ def run_replications(
         as the baseline the scale benchmarks measure against.
     ``"auto"``
         ``vector`` when eligible, else ``reset``.
+
+    Sharding
+    --------
+    ``workers`` switches on sharded execution: the replications are cut
+    into contiguous ``(R_shard, n)`` blocks — the vector engine's own
+    chunk plan, or up to 16 balanced blocks for the sequential engines —
+    each shard streams its own summary (in a ``ProcessPoolExecutor``
+    when ``workers > 1``), and the shard summaries merge in shard order
+    via :meth:`~repro.analysis.stats.ReplicationSummary.merge`.  The
+    shard plan and merge order depend only on the configuration, never
+    on the worker count, so ``workers=1`` and ``workers=8`` produce
+    identical summaries (exact mean/variance/extremes combine; quantile
+    buffers merge approximately).  ``consume`` streaming is unavailable
+    when sharding.  ``_seed_offset`` is internal plumbing: it keeps a
+    vector shard's per-chunk seed derivation aligned with the serial
+    chunk sequence.
     """
     # Imported here, not at module top: repro.analysis.runner imports this
     # module, so a top-level import of repro.analysis would be circular.
@@ -460,20 +478,59 @@ def run_replications(
         get_task(task).validate_kwargs(task_kwargs)
     resolved = resolve_schedule(schedule)
     batch_runner = spec.batch_runner_for(task)
+    # Restricted topologies ride the vector engine when the runner
+    # advertises batched neighbor sampling (global direct addressing
+    # only — the batched relays deliver without a reachability check).
+    topology_ok = resolved_topology.complete or (
+        getattr(batch_runner, "supports_topology", False)
+        and direct_addressing == "global"
+    )
     vector_ok = (
         batch_runner is not None
         and resolved is None
         and not failures
-        and resolved_topology.complete
+        and topology_ok
     )
     if engine == "vector" and not vector_ok:
         raise ValueError(
             f"vector engine unavailable for {algorithm!r} (task {task!r}) "
             "here: it needs a registered batch runner for the task and a "
-            "zero-adversity, zero-failure, complete-graph configuration"
+            "zero-adversity, zero-failure configuration on the complete "
+            "graph (or a topology-capable runner under global addressing)"
         )
     if engine == "auto":
         engine = "vector" if vector_ok else "reset"
+
+    if workers is not None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if consume is not None:
+            raise ValueError(
+                "workers= shards the replications across summaries; "
+                "per-replication consume streaming is only available serially"
+            )
+        return _run_sharded(
+            n=n,
+            algorithm=algorithm,
+            reps=reps,
+            base_seed=base_seed,
+            engine=engine,
+            source=source,
+            message_bits=message_bits,
+            failures=failures,
+            failure_pattern=failure_pattern,
+            schedule=schedule,
+            task=task,
+            task_kwargs=task_kwargs,
+            topology=topology,
+            direct_addressing=direct_addressing,
+            profile=profile,
+            check_model=check_model,
+            batch_elems=batch_elems,
+            batch_runner=batch_runner,
+            workers=workers,
+            algorithm_kwargs=algorithm_kwargs,
+        )
 
     summary = ReplicationSummary(algorithm=algorithm, n=n, engine=engine, task=task)
 
@@ -487,18 +544,39 @@ def run_replications(
         # w = k) declare the per-node weight so the element budget bounds
         # the true footprint, not just R * n.
         weigh = getattr(batch_runner, "elements_per_node", None)
-        node_elems = n * (weigh(dict(task_kwargs or {})) if weigh else 1)
+        weight = weigh(dict(task_kwargs or {})) if weigh else 1
+        runner_kwargs = {**(task_kwargs or {}), **algorithm_kwargs}
+        if getattr(batch_runner, "uses_profile", False):
+            resolved_profile = (
+                get_profile(profile) if isinstance(profile, str) else profile
+            )
+            runner_kwargs.setdefault("profile", resolved_profile)
+        graph = None
+        if not resolved_topology.complete and resolved_topology.deterministic:
+            # Deterministic graphs are identical across replications and
+            # chunks; bind once (the rng is required but unconsumed).
+            graph = resolved_topology.bind(n, make_rng(derive_seed(base_seed, "net")))
         done = 0
         while done < reps:
-            take = batch_size(node_elems, reps - done, batch_elems)
-            rng = make_rng(derive_seed(base_seed, "vector", done))
+            take = batch_size(n, reps - done, batch_elems, elements_per_node=weight)
+            rng = make_rng(derive_seed(base_seed, "vector", _seed_offset + done))
+            if not resolved_topology.complete and not resolved_topology.deterministic:
+                # Random graphs resample per chunk: replications within a
+                # chunk share one instance (documented approximation of
+                # the sequential engines' per-seed graphs).
+                graph = resolved_topology.bind(
+                    n, make_rng(derive_seed(base_seed, "vector-topo", _seed_offset + done))
+                )
+            chunk_kwargs = dict(runner_kwargs)
+            if graph is not None:
+                chunk_kwargs["graph"] = graph
             outcome = batch_runner(
                 n,
                 take,
                 rng,
                 message_bits=message_bits,
                 source=source,
-                **{**(task_kwargs or {}), **algorithm_kwargs},
+                **chunk_kwargs,
             )
             for i in range(outcome.reps):
                 feed(done + i, None, outcome.rep_scalars(i))
@@ -549,6 +627,121 @@ def run_replications(
         report = run_one(seed)
         feed(rep, seed, report_scalars(report))
     return summary
+
+
+#: Sequential-engine shard count cap: enough blocks to feed any sane
+#: worker pool while keeping per-shard engine setup amortised.
+MAX_SEQUENTIAL_SHARDS = 16
+
+
+def _replication_shard(payload: dict) -> "ReplicationSummary":
+    """Process-pool entry point: one shard of a sharded run (top-level so
+    it pickles)."""
+    return run_replications(**payload)
+
+
+def _shard_plan(
+    engine: str,
+    n: int,
+    reps: int,
+    batch_elems: int,
+    elements_per_node: int,
+) -> list:
+    """Contiguous ``(start, count)`` shard blocks.
+
+    The plan is a pure function of the configuration (never the worker
+    count): vector shards are exactly the serial engine's chunk
+    sequence, sequential shards are balanced blocks, so any ``workers``
+    value yields the same shard summaries in the same merge order.
+    """
+    if engine == "vector":
+        plan = []
+        done = 0
+        while done < reps:
+            take = batch_size(n, reps - done, batch_elems, elements_per_node)
+            plan.append((done, take))
+            done += take
+        return plan
+    shards = min(reps, MAX_SEQUENTIAL_SHARDS)
+    sizes = [reps // shards + (1 if i < reps % shards else 0) for i in range(shards)]
+    starts = [sum(sizes[:i]) for i in range(shards)]
+    return list(zip(starts, sizes))
+
+
+def _run_sharded(
+    *,
+    n: int,
+    algorithm: str,
+    reps: int,
+    base_seed: int,
+    engine: str,
+    source: Optional[int],
+    message_bits: int,
+    failures: float,
+    failure_pattern: str,
+    schedule: "AdversitySchedule | str | None",
+    task: str,
+    task_kwargs: Optional[Dict[str, Any]],
+    topology: "Topology | str | None",
+    direct_addressing: str,
+    profile: "Profile | str",
+    check_model: bool,
+    batch_elems: int,
+    batch_runner: Optional[Callable],
+    workers: int,
+    algorithm_kwargs: Dict[str, Any],
+) -> "ReplicationSummary":
+    """Split ``reps`` into shard blocks, run each as its own (serial)
+    ``run_replications``, merge the shard summaries in shard order."""
+    from repro.analysis.stats import ReplicationSummary
+
+    weigh = getattr(batch_runner, "elements_per_node", None)
+    weight = weigh(dict(task_kwargs or {})) if weigh else 1
+    common = dict(
+        n=n,
+        algorithm=algorithm,
+        engine=engine,
+        source=source,
+        message_bits=message_bits,
+        failures=failures,
+        failure_pattern=failure_pattern,
+        schedule=schedule,
+        task=task,
+        task_kwargs=task_kwargs,
+        topology=topology,
+        direct_addressing=direct_addressing,
+        profile=profile,
+        check_model=check_model,
+        batch_elems=batch_elems,
+        workers=None,
+        **algorithm_kwargs,
+    )
+    payloads = []
+    for start, count in _shard_plan(engine, n, reps, batch_elems, weight):
+        payload = dict(common, reps=count)
+        if engine == "vector":
+            # Vector shards replay the serial chunk sequence: same base
+            # seed, chunk-aligned derivation offset.
+            payload.update(base_seed=base_seed, _seed_offset=start)
+        else:
+            # Sequential shards: replication i still runs seed
+            # base_seed + i, exactly as the serial loop would.
+            payload.update(base_seed=base_seed + start)
+        payloads.append(payload)
+
+    if workers == 1 or len(payloads) == 1:
+        shard_summaries = [_replication_shard(p) for p in payloads]
+    else:
+        # Imported lazily: the serial path stays free of executor setup.
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+            shard_summaries = list(pool.map(_replication_shard, payloads))
+
+    merged = ReplicationSummary(algorithm=algorithm, n=n, engine=engine, task=task)
+    for shard in shard_summaries:
+        merged.merge(shard)
+    return merged
 
 
 def report_scalars(report: AlgorithmReport) -> dict:

@@ -35,7 +35,12 @@ from repro.core.primitives import cluster_share_rumor
 from repro.core.pull_phase import bounded_cluster_push, unclustered_nodes_pull
 from repro.core.result import AlgorithmReport, report_from_sim
 from repro.core.square import square_clusters_v2
-from repro.registry import register_algorithm, register_task_transport
+from repro.registry import (
+    register_algorithm,
+    register_batch_runner,
+    register_task_transport,
+)
+from repro.sim.batch_cluster import batched_cluster2
 from repro.sim.engine import Simulator
 from repro.sim.trace import Trace, null_trace
 from repro.tasks.transports import run_cluster_task
@@ -125,3 +130,9 @@ def cluster2_task_transport(
         unclustered_nodes_pull(sim, cl, p.pull_rounds, trace)
 
     return run_cluster_task(sim, state, build, trace=trace)
+
+
+# The scale tier's (R, n) vectorisation of this algorithm (statistically
+# validated against this module's sequential path, which stays the
+# fingerprint reference).
+register_batch_runner("cluster2")(batched_cluster2)

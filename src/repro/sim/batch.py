@@ -43,9 +43,21 @@ from repro.sim.network import resolve_index_dtype
 DEFAULT_BATCH_ELEMS = 2**22
 
 
-def batch_size(n: int, reps: int, max_elems: int = DEFAULT_BATCH_ELEMS) -> int:
-    """Replications per batch for networks of size ``n`` (at least 1)."""
-    return max(1, min(int(reps), int(max_elems) // int(n)))
+def batch_size(
+    n: int,
+    reps: int,
+    max_elems: int = DEFAULT_BATCH_ELEMS,
+    elements_per_node: int = 1,
+) -> int:
+    """Replications per batch for networks of size ``n`` (at least 1).
+
+    ``elements_per_node`` is the width of the runner's per-node state
+    (k-rumor's ``(R, n, k)`` arrays pass ``k``): it divides the element
+    budget alongside ``n`` so the chunking stays honest whether the
+    caller takes the default budget or passes ``max_elems`` explicitly.
+    """
+    per_rep = max(1, int(n) * int(elements_per_node))
+    return max(1, min(int(reps), int(max_elems) // per_rep))
 
 
 @dataclass

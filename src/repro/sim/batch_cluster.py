@@ -1,0 +1,1029 @@
+"""Batched ``(R, n)`` execution of the cluster pipeline (Algorithms 1/2).
+
+:mod:`repro.sim.batch` vectorises the *uniform* gossip protocols across
+replications; this module does the same for the paper's actual
+contribution — the Cluster1/Cluster2 direct-addressing pipeline.  The
+whole clustering state of R replications lives in ``(R, n)`` arrays
+(:class:`ClusterBatch`): ``follow`` carries the partition exactly as
+:class:`repro.core.clustering.Clustering` does per run, ``active`` the
+activation flags, and ``uid`` a per-replication random total order that
+stands in for the ID space (only uid *order* is ever consulted).
+
+The primitives are *member-centric*: each gathers its ``follow`` rows
+once (a view when the whole batch is active), indexes the clustered
+members (flat positions in the local ``A * n`` space, their rep row /
+node column / leader column), and then does all work — coins, contact
+draws, receiver digests, accounting — on those 1-D member arrays,
+scattering mutations straight back into the state.  Random-contact
+targets are drawn only for actual senders, and receiver digests reduce
+the delivered ``(dst, value)`` pairs with one combined-key sort (or a
+dense scatter when deliveries saturate the space), mirroring
+:mod:`repro.sim.delivery` semantics without materialising dense
+per-node digests.  This keeps the per-round cost proportional to the
+work actually happening, which is what buys the batch its amortised
+speedup over R sequential runs.
+
+A structural invariant makes that cheap: ``follow`` pointers always aim
+*directly* at true leaders except transiently inside ClusterMerge (grow
+and pull adoption copy a member's pointer, which is already a leader;
+resize assigns new leaders directly).  Merge therefore resolves its
+leader-level target chains up front and repoints members straight to
+their final leader — no global chain compression pass anywhere.
+
+Replications diverge (per-rep loop exits, conditional resizes, idle
+retries): every primitive therefore takes an ``act`` array of replication
+rows and charges rounds/messages/bits/fan-in only at those rows, so the
+batch stays correct when the drivers shrink their active set mid-phase.
+
+Accounting follows the engine (:mod:`repro.sim.engine`) rule for rule on
+the zero-adversity path this executor serves: every push is charged when
+sent (including ``-1`` void contacts on a restricted topology — charged,
+undelivered); pull responses are charged iff the responder has content;
+fan-in is the per-round reduction of *arrived* pushes plus pull requests.
+Like the uniform batch runners, the draws form a different (identically
+distributed) stream than R sequential runs, so this path is validated
+statistically against the ``reset`` engine, never by fingerprint.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.clustering import UNCLUSTERED
+from repro.core.constants import (
+    LAPTOP,
+    Cluster1Params,
+    Cluster2Params,
+    Profile,
+    get_profile,
+)
+from repro.sim.batch import BatchOutcome, per_rep_max_fanin, resolve_sources
+from repro.sim.delivery import NOTHING
+from repro.sim.messages import MessageSizes
+from repro.sim.topology import ContactGraph
+
+__all__ = ["ClusterBatch", "batched_cluster1", "batched_cluster2"]
+
+#: Hop cap when resolving merge-target chains (cycle guard).
+_MAX_MERGE_HOPS = 64
+
+
+class _Members:
+    """One act-block member view (see :meth:`ClusterBatch._members`).
+
+    ``flatF`` is the raveled gathered follow block; ``flat`` the member
+    positions in the local ``A * n`` space; ``r``/``c``/``ldr`` the
+    per-member local rep row, node column, and leader column; ``seg``
+    the leader's flat position (the member's cluster segment); ``is_l``
+    / ``foll`` the leader/follower masks; ``lead`` the positions *into
+    the member arrays* of the leaders (so ``r[lead]``/``c[lead]`` are
+    cheap integer gathers instead of repeated boolean scans).
+    """
+
+    __slots__ = (
+        "flatF", "flat", "r", "c", "ldr", "seg", "is_l", "lead",
+        "_foll", "_n_memb", "_n_foll", "_counts", "_size_fan",
+    )
+
+    def __init__(self, flatF, flat, r, c, ldr, seg, is_l, lead):
+        self.flatF = flatF
+        self.flat = flat
+        self.r = r
+        self.c = c
+        self.ldr = ldr
+        self.seg = seg
+        self.is_l = is_l
+        self.lead = lead
+        self._foll = None
+        self._n_memb = None
+        self._n_foll = None
+        self._counts = None
+        self._size_fan = None
+
+    @property
+    def foll(self) -> np.ndarray:
+        """Follower mask (lazy — only the member-round primitives ask)."""
+        if self._foll is None:
+            self._foll = ~self.is_l
+        return self._foll
+
+    def n_memb(self, n_rows: int) -> np.ndarray:
+        """Members per local rep row (cached — the all-member push
+        rounds charge exactly this histogram)."""
+        if self._n_memb is None or len(self._n_memb) != n_rows:
+            self._n_memb = np.bincount(self.r, minlength=n_rows)
+        return self._n_memb
+
+    def n_foll(self, n_rows: int) -> np.ndarray:
+        """Followers per local rep row (cached — every two-round
+        primitive charges this same histogram)."""
+        if self._n_foll is None or len(self._n_foll) != n_rows:
+            self._n_foll = self.n_memb(n_rows) - np.bincount(
+                self.r[self.lead], minlength=n_rows
+            )
+        return self._n_foll
+
+    def counts(self, n_rows: int, n: int) -> np.ndarray:
+        """Members per cluster segment (cached — size/dissolve/resize
+        all start from this histogram, and it only depends on follow)."""
+        if self._counts is None or len(self._counts) != n_rows * n:
+            self._counts = np.bincount(self.seg, minlength=n_rows * n)
+        return self._counts
+
+    def size_fan(self, n_rows: int, n: int) -> np.ndarray:
+        """Per-rep fan-in of a full follower→leader round, straight from
+        the cluster-size counts: the busiest leader hears from its
+        ``size - 1`` followers."""
+        if self._size_fan is None or len(self._size_fan) != n_rows:
+            biggest = self.counts(n_rows, n).reshape(n_rows, n).max(axis=1)
+            self._size_fan = np.maximum(biggest - 1, 0)
+        return self._size_fan
+
+
+class ClusterBatch:
+    """R replications of clustering state, advanced one primitive at a time.
+
+    Parameters
+    ----------
+    n:
+        Network size (shared by all replications).
+    reps:
+        Number of replications R.
+    rng:
+        Generator for *all* coins of the batch: uid orders, seeds,
+        activation flips, contact draws, digest tie-breaks.
+    message_bits:
+        Rumor payload size ``b`` (the ClusterShare message).
+    graph:
+        Optional bound :class:`~repro.sim.topology.ContactGraph`; the
+        random-contact primitives then draw per-caller neighbors
+        (``-1`` when a caller has none — charged, undelivered) instead
+        of uniform global targets.  Leader/follower traffic stays
+        directly addressed (the paper's global addressing).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        reps: int,
+        rng: np.random.Generator,
+        *,
+        message_bits: int = 256,
+        graph: Optional[ContactGraph] = None,
+    ) -> None:
+        if reps < 1:
+            raise ValueError(f"reps must be positive, got {reps}")
+        self.n = int(n)
+        self.reps = int(reps)
+        self.rng = rng
+        self.graph = graph
+        self.sizes = MessageSizes(self.n, rumor_bits=message_bits)
+        self.follow = np.full((reps, n), UNCLUSTERED, dtype=np.int64)
+        self.active = np.zeros((reps, n), dtype=bool)
+        # A per-replication uniform random total order over the nodes:
+        # everything the algorithms do with IdSpace uids is order
+        # comparisons, for which a random permutation is equidistributed.
+        self.uid = rng.permuted(
+            np.tile(np.arange(n, dtype=np.int64), (reps, 1)), axis=1
+        )
+        self.rounds = np.zeros(reps, dtype=np.int64)
+        self.messages = np.zeros(reps, dtype=np.int64)
+        self.bits = np.zeros(reps, dtype=np.int64)
+        self.max_fanin = np.zeros(reps, dtype=np.int64)
+        self._cols = np.arange(n, dtype=np.int64)
+        # Row/column splits of flat indices dominate the member view;
+        # powers of two (the scale tier's sizes) get shift/mask splits.
+        self._shift = self.n.bit_length() - 1 if self.n & (self.n - 1) == 0 else None
+        # Member-view cache: rebuilt only when ``follow`` actually
+        # mutates (the version counter) or the act block changes.
+        self._follow_ver = 0
+        self._view: "Optional[Tuple[int, np.ndarray, _Members]]" = None
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def _fanin(self, n_rows: int, arrived: np.ndarray) -> np.ndarray:
+        """Per-rep max fan-in of the ``arrived`` flat contacts.
+
+        Dense bincount when the contact list covers a fair share of the
+        ``n_rows * n`` space; otherwise a sort + run-length reduction
+        proportional to the contacts that actually happened.
+        """
+        if len(arrived) * 8 >= n_rows * self.n:
+            return per_rep_max_fanin(arrived, n_rows, self.n)
+        dst = np.sort(arrived)
+        step = np.flatnonzero(dst[1:] != dst[:-1])
+        starts = np.concatenate(([0], step + 1))
+        lens = np.diff(np.concatenate((starts, [len(dst)])))
+        rep = self._rowcol(dst[starts])[0]  # nondecreasing (dst sorted)
+        fan = np.zeros(n_rows, dtype=np.int64)
+        rstep = np.flatnonzero(rep[1:] != rep[:-1])
+        rstarts = np.concatenate(([0], rstep + 1))
+        fan[rep[rstarts]] = np.maximum.reduceat(lens, rstarts)
+        return fan
+
+    def _charge(self, act, msgs, bits, arrived=None, fan=None) -> None:
+        """Commit one round at replication rows ``act``.
+
+        ``msgs``/``bits`` are per-rep arrays (or scalars) of charged
+        messages; ``arrived`` holds rep-offset flat indices of every
+        contact that arrived this round (pushes + pull requests) — one
+        reduction yields the per-rep fan-in, exactly the engine's rule.
+        Callers that already hold the per-rep fan-in (e.g. from cluster
+        size counts) pass ``fan`` directly instead.
+        """
+        self.rounds[act] += 1
+        self.messages[act] += msgs
+        self.bits[act] += bits
+        if fan is None and arrived is not None and len(arrived):
+            fan = self._fanin(len(act), arrived)
+        if fan is not None:
+            self.max_fanin[act] = np.maximum(self.max_fanin[act], fan)
+
+    def _member_round(self, act, sender_rows, bits_per, arrived, fan=None) -> None:
+        """One follower↔leader round where every contact in
+        ``sender_rows`` carries (or pulls) a ``bits_per``-bit message —
+        the shared shape of ClusterActivate/Size/Dissolve rounds."""
+        counts = np.bincount(sender_rows, minlength=len(act))
+        self._charge(act, counts, counts * int(bits_per), arrived, fan=fan)
+
+    def idle_round(self, act) -> None:
+        """A round in which the given replications do nothing (counted)."""
+        self.rounds[act] += 1
+
+    # ------------------------------------------------------------------
+    # Member view and sparse receiver digests
+    # ------------------------------------------------------------------
+
+    def _rowcol(self, flat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split local flat positions into (rep row, node column)."""
+        if self._shift is not None:
+            return flat >> self._shift, flat & (self.n - 1)
+        r = flat // self.n
+        return r, flat - r * self.n
+
+    def _gather(self, act) -> Tuple[np.ndarray, np.ndarray]:
+        """The follow block at rows ``act`` (``act`` is always a sorted
+        subset of ``arange(reps)``, so the full-length case is the whole
+        batch and gets a zero-copy view)."""
+        g = np.asarray(act)
+        return g, self.follow if len(g) == self.reps else self.follow[g]
+
+    def _members(self, act) -> _Members:
+        """Gather the ``follow`` rows at ``act`` and index their members.
+
+        The view is cached on ``(follow version, act)``: activation
+        flips, accounting, and empty-delivery rounds leave ``follow``
+        untouched, so driver sequences like activate → push → merge (or
+        the saturated phases of the grow loops, where every push lands
+        on a clustered receiver) reuse one scan instead of re-deriving
+        the identical index arrays primitive after primitive.  Every
+        mutation site bumps ``_follow_ver`` iff it actually wrote.
+        """
+        g = np.asarray(act)
+        cached = self._view
+        if (
+            cached is not None
+            and cached[0] == self._follow_ver
+            and len(cached[1]) == len(g)
+            and (len(g) == self.reps or np.array_equal(cached[1], g))
+        ):
+            return cached[2]
+        _, F = self._gather(act)
+        flatF = F.ravel()
+        flat = np.flatnonzero(flatF != UNCLUSTERED)
+        r, c = self._rowcol(flat)
+        ldr = flatF[flat]
+        is_l = ldr == c
+        view = _Members(
+            flatF, flat, r, c, ldr, flat + ldr - c, is_l, np.flatnonzero(is_l)
+        )
+        self._view = (self._follow_ver, g, view)
+        return view
+
+    def _active_at(self, g: np.ndarray, seg: np.ndarray) -> np.ndarray:
+        """Activation flags at local flat positions ``seg``."""
+        if len(g) == self.reps:
+            return self.active.ravel()[seg]
+        r, c = self._rowcol(seg)
+        return self.active[g[r], c]
+
+    def _draw_targets(self, cols: np.ndarray) -> np.ndarray:
+        """One random contact per calling node column: a uniform other
+        node on the complete graph, a uniform neighbor (``-1`` when
+        isolated) on a bound contact graph.  Columns may repeat across
+        replications — each entry is an independent draw."""
+        if self.graph is None:
+            t = self.rng.integers(0, self.n - 1, size=len(cols), dtype=np.int64)
+            t += t >= cols
+            return t
+        return self.graph.sample_contacts(cols, self.rng)
+
+    def _receive_min_pairs(self, dst, vals, keys, size):
+        """Per distinct ``dst``, the value with the smallest key — the
+        sparse mirror of :func:`repro.sim.delivery.receive_min_by_key`.
+
+        Dense deliveries: one indexed min-scatter of the combined
+        ``key * n + val`` word (values sit in the low bits, so the
+        per-destination minimum selects min key, ties toward min value
+        — keys are uids, injective per replication, so ties cannot even
+        arise).  Sparse deliveries: one combined-key sort over what
+        actually arrived.
+        """
+        m = len(dst)
+        if m == 0:
+            return dst, vals
+        if m * 8 >= size:
+            sentinel = np.iinfo(np.int64).max
+            digest = np.full(size, sentinel)
+            np.minimum.at(digest, dst, keys * np.int64(self.n) + vals)
+            d = np.flatnonzero(digest != sentinel)
+            return d, digest[d] % self.n
+        order = np.argsort(dst * np.int64(self.n) + keys)
+        d = dst[order]
+        first = np.ones(m, dtype=bool)
+        first[1:] = d[1:] != d[:-1]
+        return d[first], vals[order][first]
+
+    def _receive_any_pairs(self, dst, vals, size):
+        """Per distinct ``dst``, a uniformly random received value — the
+        sparse mirror of :func:`repro.sim.delivery.receive_any`.
+
+        Sparse path: random unique priorities, one combined-key sort,
+        keep each destination's minimum-priority delivery (uniform).
+        When deliveries saturate the ``size`` space, a dense permuted
+        scatter (last write wins, as in the delivery module) is cheaper
+        than sorting.
+        """
+        m = len(dst)
+        if m == 0:
+            return dst, vals
+        perm = self.rng.permutation(m)
+        if m * 4 < size:
+            order = np.argsort(dst * np.int64(m) + perm)
+            d = dst[order]
+            first = np.ones(m, dtype=bool)
+            first[1:] = d[1:] != d[:-1]
+            return d[first], vals[order][first]
+        digest = np.full(size, NOTHING, dtype=np.int64)
+        digest[dst[perm]] = vals[perm]
+        d = np.flatnonzero(digest != NOTHING)
+        return d, digest[d]
+
+    # ------------------------------------------------------------------
+    # Section 3.2 primitives, batched
+    # ------------------------------------------------------------------
+
+    def seed_singletons(self, prob: float) -> None:
+        """Seed singleton active clusters with probability ``prob`` per
+        node (local coins, no round), with the same zero-seed fallback
+        as :func:`repro.core.grow.seed_singleton_clusters`."""
+        if not 0.0 < prob <= 1.0:
+            raise ValueError(f"seed probability must be in (0,1], got {prob}")
+        coins = self.rng.random((self.reps, self.n)) < prob
+        empty = ~coins.any(axis=1)
+        coins[empty, 0] = True
+        self.follow = np.where(coins, self._cols[None, :], self.follow)
+        self.active |= coins
+        self._follow_ver += 1
+
+    def cluster_activate(self, act, p: Optional[float]) -> None:
+        """ClusterActivate(p); ``p=None`` is the deterministic
+        activate-all variant.  One round (a rep with no clusters has an
+        empty pull set — its round is the sequential idle round)."""
+        if p is not None and not 0.0 <= p <= 1.0:
+            raise ValueError(f"activation probability must be in [0,1], got {p}")
+        g = np.asarray(act)
+        m = self._members(act)
+        self.active[g] = False
+        lr, lc = m.r[m.lead], m.c[m.lead]
+        if p is None:
+            self.active[g[lr], lc] = True
+        else:
+            coin = self.rng.random(len(lr)) < p
+            self.active[g[lr[coin]], lc[coin]] = True
+        self._member_round(act, m.r[m.foll], self.sizes.flag_bits, m.seg[m.foll])
+
+    def cluster_size(self, act) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """ClusterSize (two rounds); returns ``(rows, cols, sizes)`` —
+        per-leader local rep row, leader column, and cluster size, in
+        row-major leader order."""
+        g = np.asarray(act)
+        m = self._members(act)
+        counts = m.counts(len(g), self.n)
+        fan = m.size_fan(len(g), self.n)
+        n_foll = m.n_foll(len(g))
+        self._charge(act, n_foll, n_foll * self.sizes.id_bits, fan=fan)  # ID push
+        self._charge(act, n_foll, n_foll * self.sizes.count_bits, fan=fan)  # count pull
+        return m.r[m.lead], m.c[m.lead], counts[m.flat[m.lead]]
+
+    def leader_sizes(self, act) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-leader cluster sizes without spending rounds (driver
+        bookkeeping; the accounted measurement is :meth:`cluster_size`).
+        Same ``(rows, cols, sizes)`` row-major leader order."""
+        g = np.asarray(act)
+        m = self._members(act)
+        counts = m.counts(len(g), self.n)
+        return m.r[m.lead], m.c[m.lead], counts[m.flat[m.lead]]
+
+    def cluster_dissolve(self, act, s: int) -> None:
+        """ClusterDissolve(s) (two rounds): clusters smaller than ``s``
+        disband."""
+        if s < 1:
+            raise ValueError(f"size floor must be >= 1, got {s}")
+        g = np.asarray(act)
+        m = self._members(act)
+        counts = m.counts(len(g), self.n)
+        fan = m.size_fan(len(g), self.n)
+        n_foll = m.n_foll(len(g))
+        self._charge(act, n_foll, n_foll * self.sizes.id_bits, fan=fan)
+        self._charge(act, n_foll, n_foll * self.sizes.id_bits, fan=fan)
+        doomed = counts[m.seg] < s
+        if doomed.any():
+            self.follow[g[m.r[doomed]], m.c[doomed]] = UNCLUSTERED
+            dl = doomed & m.is_l
+            self.active[g[m.r[dl]], m.c[dl]] = False
+            self._follow_ver += 1
+
+    def cluster_resize(self, act, s: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """ClusterResize(s) (two rounds): leaders split oversized clusters
+        into ``k = floor(s'/s)`` uid-sorted chunks; each follower pulls the
+        ``k * id_bits`` new-leader list (footnote 2's one super-constant
+        message).
+
+        Returns the *post-split* ``(rows, cols, sizes)`` leader triplet
+        (unsplit leaders first, then the split chunks' new leaders) —
+        free bookkeeping the grow driver would otherwise re-scan for.
+        """
+        if s < 1:
+            raise ValueError(f"target size must be >= 1, got {s}")
+        g = np.asarray(act)
+        A = len(g)
+        m = self._members(act)
+        r, c, seg = m.r, m.c, m.seg
+        counts = m.counts(A, self.n)
+        fan = m.size_fan(A, self.n)
+        n_foll = m.n_foll(A)
+        self._charge(act, n_foll, n_foll * self.sizes.id_bits, fan=fan)  # ID push
+
+        k_member = np.maximum(counts[seg] // int(s), 1)  # own cluster's k
+        sel = np.flatnonzero(k_member > 1)
+        # Pull round: k * id_bits per follower — the one-id baseline
+        # plus (k - 1) extras for followers of splitting clusters.
+        fsel = sel[~m.is_l[sel]]
+        extra = np.bincount(
+            r[fsel], weights=(k_member[fsel] - 1).astype(np.float64), minlength=A
+        ).astype(np.int64)
+        self._charge(
+            act, n_foll, (n_foll + extra) * self.sizes.id_bits, fan=fan
+        )
+
+        keep = k_member[m.lead] == 1  # leaders of unsplit clusters
+        lead_u = m.lead[keep]
+        rows_u, cols_u = r[lead_u], c[lead_u]
+        sizes_u = counts[m.flat[lead_u]]
+        if not len(sel):
+            return rows_u, cols_u, sizes_u
+        self._follow_ver += 1
+        # Segment key = (rep, leader); members sorted by uid within it.
+        # uid is injective per replication, so seg * n + uid is a
+        # collision-free combined key — one sort instead of a lexsort.
+        u = self.uid[g[r[sel]], c[sel]]
+        sel = sel[np.argsort(seg[sel] * np.int64(self.n) + u)]
+        rs = r[sel]
+        cs = c[sel]
+        seg_s = seg[sel]
+        ks = k_member[sel]
+        new_seg = np.ones(len(seg_s), dtype=bool)
+        new_seg[1:] = seg_s[1:] != seg_s[:-1]
+        seg_id = np.cumsum(new_seg) - 1
+        starts = np.flatnonzero(new_seg)
+        seg_sizes = np.diff(np.append(starts, len(seg_s)))
+        rank = np.arange(len(seg_s)) - starts[seg_id]
+        chunk = (rank * ks) // seg_sizes[seg_id]
+        # Runs of equal (segment, chunk); the last member of each run has
+        # the chunk's largest uid and becomes its leader.
+        new_run = new_seg.copy()
+        new_run[1:] |= chunk[1:] != chunk[:-1]
+        run_id = np.cumsum(new_run) - 1
+        run_starts = np.flatnonzero(new_run)
+        run_last = np.append(run_starts[1:], len(seg_s)) - 1
+        lead_r, lead_c = rs[run_last], cs[run_last]
+        old_lead_c = seg_s[run_last] - lead_r * self.n
+        old_active = self.active[g[lead_r], old_lead_c]  # read before writes
+        self.follow[g[rs], cs] = lead_c[run_id]
+        self.active[g[lead_r], lead_c] = old_active
+        run_sizes = np.diff(np.append(run_starts, len(seg_s)))
+        return (
+            np.concatenate((rows_u, lead_r)),
+            np.concatenate((cols_u, lead_c)),
+            np.concatenate((sizes_u, run_sizes)),
+        )
+
+    def cluster_push(self, act, senders: str, reduce: str):
+        """ClusterPUSH (two rounds: push + relay-to-leader).
+
+        ``senders`` selects the pushing members: ``"active"`` (members
+        of active clusters) or ``"clustered"`` (every member).  Returns
+        the sparse receipt pairs ``(leader_dst, leader_vals,
+        unclustered_dst, unclustered_vals)`` — flat positions in the
+        local ``A * n`` space and the cluster IDs digested there — the
+        batched :class:`repro.core.primitives.ClusterPushOutcome`.
+        """
+        if reduce not in ("min", "any"):
+            raise ValueError(f"reduce must be 'min' or 'any', got {reduce!r}")
+        g = np.asarray(act)
+        A, n = len(g), self.n
+        m = self._members(act)
+        flatF = m.flatF
+        if senders == "active":
+            send = self._active_at(g, m.seg)
+            if send.all():
+                s_r, s_c, s_ldr, n_send = m.r, m.c, m.ldr, m.n_memb(A)
+            else:
+                s_r, s_c, s_ldr = m.r[send], m.c[send], m.ldr[send]
+                n_send = np.bincount(s_r, minlength=A)
+        elif senders == "clustered":
+            s_r, s_c, s_ldr, n_send = m.r, m.c, m.ldr, m.n_memb(A)
+        else:
+            raise ValueError(f"senders must be 'active' or 'clustered', got {senders!r}")
+
+        targets = self._draw_targets(s_c)  # voids charged, not delivered
+        if self.graph is None:  # complete graph: every push arrives
+            dst, vals, d_r = s_r * n + targets, s_ldr, s_r
+        else:
+            valid = targets >= 0
+            dst = (s_r * n + targets)[valid]
+            vals, d_r = s_ldr[valid], s_r[valid]
+        self._charge(act, n_send, n_send * self.sizes.id_bits, dst)
+        if reduce == "min":  # each member pushes its cluster's ID
+            d1, v1 = self._receive_min_pairs(
+                dst, vals, self.uid[g[d_r], vals], A * n
+            )
+        else:
+            d1, v1 = self._receive_any_pairs(dst, vals, A * n)
+
+        recv_F = flatF[d1]
+        cl_w = np.flatnonzero(recv_F != UNCLUSTERED)  # clustered receivers
+        uncl_w = np.flatnonzero(recv_F == UNCLUSTERED)
+        d_cl = d1[cl_w]
+        F_cl = recv_F[cl_w]
+        own = F_cl == self._rowcol(d_cl)[1]
+        lead_w = cl_w[own]  # leaders holding their own digest
+
+        # Relay round: followers holding a digest push it to their leader
+        # (the follower's segment is exactly the leader's flat position).
+        rel_dst = (d_cl + F_cl - self._rowcol(d_cl)[1])[~own]
+        rel_r = self._rowcol(rel_dst)[0]
+        rel_vals = v1[cl_w[~own]]
+        n_rel = np.bincount(rel_r, minlength=A)
+        self._charge(act, n_rel, n_rel * self.sizes.id_bits, rel_dst)
+        if reduce == "min":
+            d2, v2 = self._receive_min_pairs(
+                rel_dst, rel_vals, self.uid[g[rel_r], rel_vals], A * n
+            )
+        else:
+            d2, v2 = self._receive_any_pairs(rel_dst, rel_vals, A * n)
+
+        # Combine relayed digests with the leaders' own first-round ones.
+        cand_d = np.concatenate((d2, d1[lead_w]))
+        cand_v = np.concatenate((v2, v1[lead_w]))
+        if reduce == "min":
+            keys = self.uid[g[self._rowcol(cand_d)[0]], cand_v]
+            lead_d, lead_v = self._receive_min_pairs(cand_d, cand_v, keys, A * n)
+        else:
+            # Relayed digests win over a leader's own receipt (the
+            # sequential combine order); at most two candidates per dst.
+            pref = np.zeros(len(cand_d), dtype=np.int64)
+            pref[len(d2):] = 1
+            order = np.argsort(cand_d * np.int64(2) + pref)
+            dd = cand_d[order]
+            first = np.ones(len(dd), dtype=bool)
+            first[1:] = dd[1:] != dd[:-1]
+            lead_d, lead_v = dd[first], cand_v[order][first]
+        return lead_d, lead_v, d1[uncl_w], v1[uncl_w]
+
+    def cluster_merge(self, act, m_flat: np.ndarray, m_target: np.ndarray) -> None:
+        """ClusterMerge (one round): the clusters whose leaders sit at
+        local flat positions ``m_flat`` merge into the (same-rep)
+        cluster led by node column ``m_target``; a rep with no merging
+        cluster gets the sequential idle round (empty pull set)."""
+        g = np.asarray(act)
+        A, n = len(g), self.n
+        m_r, m_c = self._rowcol(m_flat)
+        keep = m_target != m_c
+        m_flat, m_r, m_c, m_target = (
+            m_flat[keep], m_r[keep], m_c[keep], m_target[keep]
+        )
+        if len(m_flat) == 0:  # nothing merges: the (empty) pull round
+            self.rounds[g] += 1
+            return
+        base = m_flat - m_c  # local rep row * n
+
+        merging = np.zeros(A * n, dtype=bool)
+        merging[m_flat] = True
+        target = np.zeros(A * n, dtype=np.int64)
+        target[m_flat] = m_target
+        # Resolve merge chains (A -> B -> C) at the leader level so the
+        # member repoint below lands directly on final leaders — this is
+        # the only place follow chains ever appear (see module docs).
+        t = m_target.copy()
+        for _ in range(_MAX_MERGE_HOPS):
+            chained = merging[base + t]
+            if not chained.any():
+                break
+            t[chained] = target[(base + t)[chained]]
+        else:
+            raise RuntimeError(
+                f"merge chains not resolved in {_MAX_MERGE_HOPS} hops (cycle?)"
+            )
+        target[m_flat] = t
+
+        m = self._members(act)
+        mw = np.flatnonzero(merging[m.seg])  # merging-cluster members
+        rm, cm, sm = m.r[mw], m.c[mw], m.seg[mw]
+        pull = ~m.is_l[mw]
+        self._member_round(act, rm[pull], self.sizes.id_bits, sm[pull])
+        self.follow[g[rm], cm] = target[sm]
+        self.active[g[m_r], m_c] = False
+        self._follow_ver += 1
+
+    def cluster_share(self, act, informed: np.ndarray) -> np.ndarray:
+        """ClusterShare(rumor) (two rounds); returns the updated informed
+        mask (a fresh array)."""
+        g = np.asarray(act)
+        A = len(g)
+        informed = informed.copy()
+        flat_inf = informed.ravel()
+        m = self._members(act)
+
+        # Informed followers push the rumor to their leader.
+        send = m.foll & flat_inf[m.flat]
+        arrived = m.seg[send]
+        n_send = np.bincount(m.r[send], minlength=A)
+        self._charge(act, n_send, n_send * self.sizes.rumor_bits, arrived)
+        flat_inf[arrived] = True
+
+        # All followers pull; leaders of informed clusters answer.
+        responds = m.foll & flat_inf[m.seg]
+        n_resp = np.bincount(m.r[responds], minlength=A)
+        self._charge(act, n_resp, n_resp * self.sizes.rumor_bits, m.seg[m.foll])
+        flat_inf[m.flat[responds]] = True
+        return informed
+
+    # ------------------------------------------------------------------
+    # Recruiting rounds (Algorithm 1 lines 9-10 / 26)
+    # ------------------------------------------------------------------
+
+    def grow_push_round(self, act, *, active_only: bool = True) -> None:
+        """One PUSH-gossip recruiting round: (active-)cluster members push
+        their cluster ID; unclustered receivers join a random received
+        one."""
+        g = np.asarray(act)
+        A, n = len(g), self.n
+        m = self._members(act)
+        if active_only:
+            send = self._active_at(g, m.seg)
+            if send.all():
+                s_r, s_c, s_ldr, n_send = m.r, m.c, m.ldr, m.n_memb(A)
+            else:
+                s_r, s_c, s_ldr = m.r[send], m.c[send], m.ldr[send]
+                n_send = np.bincount(s_r, minlength=A)
+        else:
+            s_r, s_c, s_ldr, n_send = m.r, m.c, m.ldr, m.n_memb(A)
+        targets = self._draw_targets(s_c)
+        if self.graph is None:  # complete graph: every push arrives
+            dst, vals = s_r * n + targets, s_ldr
+        else:
+            valid = targets >= 0
+            dst, vals = (s_r * n + targets)[valid], s_ldr[valid]
+        self._charge(act, n_send, n_send * self.sizes.id_bits, dst)
+        # Only unclustered receivers consult the digest (to join), so the
+        # reduction runs over their deliveries alone; per receiver the
+        # delivery multiset is unchanged by the filter.
+        u_sel = m.flatF[dst] == UNCLUSTERED
+        d1, v1 = self._receive_any_pairs(dst[u_sel], vals[u_sel], A * n)
+        if len(d1):
+            # Joiners adopt the sender's leader pointer, which already
+            # aims at a true leader — no chain to compress.
+            jr, jc = self._rowcol(d1)
+            self.follow[g[jr], jc] = v1
+            self._follow_ver += 1
+
+    def unclustered_pull_round(self, act) -> None:
+        """One PULL round: unclustered nodes pull from a random contact;
+        clustered responders answer with their leader's ID."""
+        g, F = self._gather(act)
+        A, n = len(g), self.n
+        flatF = F.ravel()
+        uflat = np.flatnonzero(flatF == UNCLUSTERED)
+        p_r, p_c = self._rowcol(uflat)
+        targets = self._draw_targets(p_c)
+        valid = targets >= 0
+        t_flat = (p_r * n + targets)[valid]
+        resp_F = flatF[t_flat]
+        responds = resp_F != UNCLUSTERED
+        n_resp = np.bincount(p_r[valid][responds], minlength=A)
+        # Pull requests are free; every arrived request counts as fan-in.
+        self._charge(act, n_resp, n_resp * self.sizes.id_bits, t_flat)
+        joined = uflat[valid][responds]
+        if len(joined):
+            jr, jc = self._rowcol(joined)
+            self.follow[g[jr], jc] = resp_F[responds]
+            self._follow_ver += 1
+
+
+# ----------------------------------------------------------------------
+# Phase drivers (batched mirrors of repro.core.{grow,square,merge_phase,
+# pull_phase} control flow, with per-rep divergence via act subsets)
+# ----------------------------------------------------------------------
+
+
+def _leader_flats(state: ClusterBatch, act) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The global row array and local (rows, cols) of every leader at
+    rows ``act``, off the (cached) member view — a driver scan right
+    before a primitive warms the cache the primitive then reuses."""
+    m = state._members(act)
+    return np.asarray(act), m.r[m.lead], m.c[m.lead]
+
+
+def _has_active_leader(state: ClusterBatch, act: np.ndarray) -> np.ndarray:
+    g, lr, lc = _leader_flats(state, act)
+    alive = state.active[g[lr], lc]
+    out = np.zeros(len(g), dtype=bool)
+    out[lr[alive]] = True
+    return out
+
+
+def _grow_v1(state: ClusterBatch, p: Cluster1Params) -> None:
+    state.seed_singletons(p.seed_prob)
+    act = np.arange(state.reps)
+    for _ in range(p.grow_rounds):
+        state.grow_push_round(act, active_only=False)
+
+
+def _grow_v2(state: ClusterBatch, p: Cluster2Params) -> None:
+    state.seed_singletons(p.seed_prob)
+    all_reps = np.arange(state.reps)
+    state.cluster_activate(all_reps, None)
+    # Per-leader sizes of the previous measurement (0 at non-leaders),
+    # the batched mirror of the sequential driver's prev_sizes array.
+    prev = np.zeros((state.reps, state.n), dtype=np.float64)
+    lr, lc, sz = state.leader_sizes(all_reps)
+    prev[lr, lc] = sz
+    act = all_reps
+    for _ in range(p.grow_rounds_cap):
+        act = act[_has_active_leader(state, act)]
+        if len(act) == 0:
+            break
+        state.grow_push_round(act, active_only=True)
+        lr, lc, sz = state.cluster_size(act)
+        gl = act[lr]
+        sz = sz.astype(np.float64)
+        big = sz >= p.big_size
+        grew = sz / np.maximum(prev[gl, lc], 1.0)
+        stalled = big & (grew < p.growth_stop_factor)
+        state.active[gl[stalled], lc[stalled]] = False
+        # Big clusters still growing get split (per-rep conditional: only
+        # the reps that hold one pay the two ClusterResize rounds).
+        resizing = np.zeros(len(act), dtype=bool)
+        resizing[lr[big & ~stalled]] = True
+        prev[act] = 0.0
+        if resizing.any():
+            sub = act[resizing]
+            lr2, lc2, sz2 = state.cluster_resize(sub, p.big_size)
+            prev[sub[lr2], lc2] = sz2
+            keep = ~resizing[lr]
+            prev[gl[keep], lc[keep]] = sz[keep]
+        else:
+            prev[gl, lc] = sz
+    state.active[:, :] = False
+
+
+def _ensure_some_active(state: ClusterBatch, act: np.ndarray) -> None:
+    """Batched :func:`repro.core.square._ensure_some_active`: reps whose
+    activation coin missed every cluster promote their smallest-uid leader
+    and account one extra activation round."""
+    g, lr, lc = _leader_flats(state, act)
+    alive = state.active[g[lr], lc]
+    has_lead = np.zeros(len(g), dtype=bool)
+    has_lead[lr] = True
+    has_active = np.zeros(len(g), dtype=bool)
+    has_active[lr[alive]] = True
+    fix = has_lead & ~has_active
+    if not fix.any():
+        return
+    sel = fix[lr]
+    u = state.uid[g[lr[sel]], lc[sel]]
+    order = np.lexsort((u, lr[sel]))
+    rs = lr[sel][order]
+    cs = lc[sel][order]
+    first = np.ones(len(rs), dtype=bool)
+    first[1:] = rs[1:] != rs[:-1]
+    state.active[g[rs[first]], cs[first]] = True
+    state.idle_round(g[np.flatnonzero(fix)])
+
+
+def _recruit_inactive(state: ClusterBatch, act: np.ndarray, *, reduce: str) -> None:
+    """One ClusterPUSH / ClusterMerge repetition (active clusters recruit
+    inactive ones), with the sequential static guard."""
+    g = np.asarray(act)
+    lead_d, lead_v, _, _ = state.cluster_push(act, "active", reduce)
+    lr, lc = state._rowcol(lead_d)
+    inactive = ~state.active[g[lr], lc]
+    m_flat, m_target = lead_d[inactive], lead_v[inactive]
+    if len(m_flat):
+        if not state.active[g[lr[inactive]], m_target].all():
+            raise RuntimeError("merge target is not an active cluster")
+    state.cluster_merge(act, m_flat, m_target)
+
+
+def _square(
+    state: ClusterBatch,
+    *,
+    s0: int,
+    dissolve_at: int,
+    target: float,
+    step: Callable[[int], int],
+    reduce: str,
+) -> None:
+    """SquareClusters: the s-progression is a pure function of the params,
+    so every replication runs the same iteration count (rectangular)."""
+    all_reps = np.arange(state.reps)
+    state.cluster_dissolve(all_reps, dissolve_at)
+    s = s0
+    while s <= target:
+        state.cluster_resize(all_reps, s)
+        state.cluster_activate(all_reps, 1.0 / s)
+        _ensure_some_active(state, all_reps)
+        for _ in range(2):
+            _recruit_inactive(state, all_reps, reduce=reduce)
+        s = step(s)
+
+
+def _merge_all(state: ClusterBatch, reps_param: int) -> None:
+    all_reps = np.arange(state.reps)
+    mandatory = min(2, max(1, reps_param))
+    act = all_reps
+    for rep_i in range(max(1, reps_param)):
+        if rep_i >= mandatory:
+            lead_counts = (state.follow[act] == state._cols[None, :]).sum(axis=1)
+            act = act[lead_counts > 1]
+            if len(act) == 0:
+                break
+        g = act
+        lead_d, lead_v, _, _ = state.cluster_push(act, "clustered", "min")
+        lr, lc = state._rowcol(lead_d)
+        # Merge towards strictly smaller uids only (acyclic; the global
+        # minimum never moves).
+        better = state.uid[g[lr], lead_v] < state.uid[g[lr], lc]
+        state.cluster_merge(act, lead_d[better], lead_v[better])
+
+
+def _bounded_push(state: ClusterBatch, *, growth_stop: float, rounds_cap: int) -> None:
+    all_reps = np.arange(state.reps)
+    state.cluster_activate(all_reps, None)
+    act = all_reps
+    carried = None  # last measurement: (local leader rows, sizes)
+    for _ in range(rounds_cap):
+        keep = _has_active_leader(state, act)
+        # Grow rounds never create or remove leaders, so size triplets
+        # stay aligned element for element across iterations; last
+        # iteration's measurement doubles as this iteration's baseline
+        # (restricted to the leaders of the rows still in play).
+        before = carried[1][keep[carried[0]]] if carried is not None else None
+        act = act[keep]
+        if len(act) == 0:
+            break
+        if before is None:
+            _, _, before = state.leader_sizes(act)
+        state.grow_push_round(act, active_only=True)
+        lr, lc, after = state.cluster_size(act)
+        grew = after.astype(np.float64) / np.clip(before, 1.0, None)
+        stalled = grew < growth_stop
+        state.active[act[lr[stalled]], lc[stalled]] = False
+        carried = (lr, after)
+    state.active[:, :] = False
+
+
+def _pull(state: ClusterBatch, rounds: int) -> None:
+    act = np.arange(state.reps)
+    for _ in range(rounds):
+        remaining = (state.follow[act] == UNCLUSTERED).any(axis=1)
+        act = act[remaining]
+        if len(act) == 0:
+            break
+        state.unclustered_pull_round(act)
+
+
+def _outcome(name: str, state: ClusterBatch, informed: np.ndarray) -> BatchOutcome:
+    counts = informed.sum(axis=1)
+    return BatchOutcome(
+        algorithm=name,
+        n=state.n,
+        rounds=state.rounds,
+        # Cluster runners run their fixed phase schedule, never an
+        # early-completion watch (mirrors the sequential reports, whose
+        # spread_rounds equals rounds).
+        completion_round=np.full(state.reps, -1, dtype=np.int64),
+        messages=state.messages,
+        bits=state.bits,
+        max_fanin=state.max_fanin,
+        informed_counts=counts,
+        success=counts == state.n,
+    )
+
+
+def _share_from_sources(
+    state: ClusterBatch, sources: np.ndarray
+) -> np.ndarray:
+    informed = np.zeros((state.reps, state.n), dtype=bool)
+    informed[np.arange(state.reps), sources] = True
+    return state.cluster_share(np.arange(state.reps), informed)
+
+
+# ----------------------------------------------------------------------
+# Batch runners (registered on the cluster1/cluster2 AlgorithmSpecs)
+# ----------------------------------------------------------------------
+
+
+def batched_cluster1(
+    n: int,
+    reps: int,
+    rng: np.random.Generator,
+    *,
+    message_bits: int = 256,
+    source: "int | None" = 0,
+    params: Optional[Cluster1Params] = None,
+    profile: "Profile | str" = LAPTOP,
+    graph: Optional[ContactGraph] = None,
+) -> BatchOutcome:
+    """Cluster1 (Algorithm 1), ``reps`` replications at once."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    p = params if params is not None else profile.cluster1(n)
+    state = ClusterBatch(n, reps, rng, message_bits=message_bits, graph=graph)
+    sources = resolve_sources(source, reps, n, rng)
+    _grow_v1(state, p)
+    _square(
+        state,
+        s0=p.min_cluster_size,
+        dissolve_at=p.min_cluster_size,
+        target=p.square_target,
+        step=p.square_step,
+        reduce="min",
+    )
+    _merge_all(state, p.merge_reps)
+    _pull(state, p.pull_rounds)
+    informed = _share_from_sources(state, sources)
+    return _outcome("cluster1", state, informed)
+
+
+def batched_cluster2(
+    n: int,
+    reps: int,
+    rng: np.random.Generator,
+    *,
+    message_bits: int = 256,
+    source: "int | None" = 0,
+    params: Optional[Cluster2Params] = None,
+    profile: "Profile | str" = LAPTOP,
+    graph: Optional[ContactGraph] = None,
+) -> BatchOutcome:
+    """Cluster2 (Algorithm 2, the paper's Theorem 2 algorithm), ``reps``
+    replications at once."""
+    if isinstance(profile, str):
+        profile = get_profile(profile)
+    p = params if params is not None else profile.cluster2(n)
+    state = ClusterBatch(n, reps, rng, message_bits=message_bits, graph=graph)
+    sources = resolve_sources(source, reps, n, rng)
+    _grow_v2(state, p)
+    _square(
+        state,
+        s0=p.square_floor,
+        dissolve_at=max(2, p.square_floor // 2),
+        target=p.square_target,
+        step=p.square_step,
+        reduce="any",
+    )
+    _merge_all(state, p.merge_reps)
+    _bounded_push(
+        state,
+        growth_stop=p.bounded_push_growth_stop,
+        rounds_cap=p.bounded_push_rounds_cap,
+    )
+    _pull(state, p.pull_rounds)
+    informed = _share_from_sources(state, sources)
+    return _outcome("cluster2", state, informed)
+
+
+#: run_replications consults these attributes when assembling the vector
+#: call: the runners take the constant-resolution profile, and accept a
+#: bound contact graph (restricted-topology vector runs).
+batched_cluster1.uses_profile = True
+batched_cluster1.supports_topology = True
+batched_cluster2.uses_profile = True
+batched_cluster2.supports_topology = True

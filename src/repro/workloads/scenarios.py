@@ -412,9 +412,10 @@ for _scenario in [
     Scenario(
         name="mega-cluster",
         description=(
-            "A quarter-million-node (2^18) Cluster2 broadcast on the "
-            "memory-lean reset engine — optimal message cost at "
-            "production scale."
+            "A quarter-million-node (2^18) Cluster2 broadcast — optimal "
+            "message cost at production scale (auto-resolves to the "
+            "batched vector engine since the cluster pipeline gained "
+            "(R, n) runners)."
         ),
         n=2**18,
         algorithm="cluster2",

@@ -1,10 +1,13 @@
 """Tests for repro.analysis.stats."""
 
 import math
+import random
 
 import pytest
 
 from repro.analysis.stats import (
+    ReplicationSummary,
+    StreamingSummary,
     Summary,
     mean_ci,
     success_rate,
@@ -70,3 +73,83 @@ class TestWilson:
             wilson_interval(1, 0)
         with pytest.raises(ValueError):
             wilson_interval(5, 3)
+
+
+class TestStreamingMerge:
+    """StreamingSummary.merge — the shard combine behind ``workers=``."""
+
+    @staticmethod
+    def _stream(values, max_samples=4096):
+        s = StreamingSummary(max_samples=max_samples)
+        for v in values:
+            s.push(v)
+        return s
+
+    def test_matches_single_stream_aggregation(self):
+        rng = random.Random(0)
+        values = [rng.gauss(50.0, 12.0) for _ in range(257)]
+        whole = self._stream(values)
+        merged = self._stream(values[:100]).merge(self._stream(values[100:]))
+        # Chan parallel-variance combine: float-rounding agreement on the
+        # moments, exact on count and the extremes.
+        assert merged.count == whole.count
+        assert merged.minimum == whole.minimum
+        assert merged.maximum == whole.maximum
+        assert math.isclose(merged.mean, whole.mean, rel_tol=1e-12)
+        assert math.isclose(merged.variance, whole.variance, rel_tol=1e-12)
+
+    def test_quantiles_exact_while_buffers_fit(self):
+        values = [float(v) for v in range(101)]
+        merged = self._stream(values[:40]).merge(self._stream(values[40:]))
+        whole = self._stream(values)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert merged.quantile(q) == whole.quantile(q)
+
+    def test_merge_decimates_past_the_memory_bound(self):
+        a = self._stream(range(8), max_samples=8)
+        b = self._stream(range(8, 16), max_samples=8)
+        merged = a.merge(b)
+        assert merged.count == 16
+        assert len(merged._samples) <= 8 and merged._stride > 1
+        # Approximate but sane: the decimated median sits in-range.
+        assert 0 <= merged.quantile(0.5) <= 15
+
+    def test_empty_shard_is_identity(self):
+        values = [3.0, 1.0, 4.0, 1.5]
+        left = self._stream(values).merge(StreamingSummary())
+        assert (left.count, left.mean, left.minimum) == (4, 2.375, 1.0)
+        right = StreamingSummary().merge(self._stream(values))
+        assert (right.count, right.mean, right.maximum) == (4, 2.375, 4.0)
+        assert right.quantile(0.5) == 2.25
+        both = StreamingSummary().merge(StreamingSummary())
+        assert both.count == 0 and math.isnan(both.quantile(0.5))
+
+    def test_single_rep_shards(self):
+        merged = self._stream([7.0]).merge(self._stream([9.0]))
+        assert merged.count == 2
+        assert merged.mean == 8.0
+        assert merged.variance == 2.0
+        assert (merged.minimum, merged.maximum) == (7.0, 9.0)
+
+
+class TestReplicationSummaryMerge:
+    def test_shards_fold_reps_successes_and_metrics(self):
+        def shard(rounds_list, succ):
+            s = ReplicationSummary(algorithm="x", n=8, engine="vector")
+            for r, ok in zip(rounds_list, succ):
+                s.observe(
+                    rounds=r, spread_rounds=r, messages_per_node=1.0,
+                    bits_per_node=8.0, max_fanin=2, success=ok,
+                )
+            return s
+
+        a = shard([10.0, 12.0], [True, False])
+        b = shard([14.0], [True])
+        a.merge(b)
+        assert a.reps == 3 and a.successes == 2
+        assert a.rounds.count == 3 and a.rounds.mean == 12.0
+        # Metrics present only on one side still carry over.
+        extra = ReplicationSummary(algorithm="x", n=8, engine="vector")
+        extra.metrics["task_error"] = TestStreamingMerge._stream([0.5])
+        a.merge(extra)
+        assert a.metrics["task_error"].count == 1

@@ -223,6 +223,18 @@ class TestVectorEngine:
         assert batch_size(2**20, 100, max_elems=2**10) == 1
         assert batch_size(256, 100, max_elems=2**22) == 100
 
+    def test_batch_size_weights_explicit_budget_by_element_width(self):
+        # Regression: elements_per_node used to be dropped whenever the
+        # caller passed max_elems explicitly, so a k-rumor batch at k=64
+        # was sized as if its per-node state were one element wide —
+        # 64x over budget.
+        k = 64
+        n = 1024
+        budget = 4 * n * k  # room for exactly four (n, k) slabs
+        assert batch_size(n, 100, max_elems=budget, elements_per_node=k) == 4
+        # Unweighted callers are unaffected.
+        assert batch_size(n, 100, max_elems=budget) == 100
+
     def test_statistically_equivalent_to_sequential(self):
         vec = run_replications(512, "push-pull", reps=80, engine="vector")
         seq = run_replications(512, "push-pull", reps=80, engine="reset")
@@ -239,13 +251,13 @@ class TestVectorEngine:
 
     def test_unavailable_for_schedules_and_unbatched_algorithms(self):
         with pytest.raises(ValueError, match="vector engine unavailable"):
-            run_replications(256, "cluster2", reps=2, engine="vector")
+            run_replications(256, "push", reps=2, engine="vector")
         with pytest.raises(ValueError, match="vector engine unavailable"):
             run_replications(
                 256, "push-pull", reps=2, engine="vector", schedule="loss:0.1"
             )
         # auto falls back to the reset engine in both cases.
-        assert run_replications(256, "cluster2", reps=2).engine == "reset"
+        assert run_replications(256, "push", reps=2).engine == "reset"
         assert (
             run_replications(256, "push-pull", reps=2, schedule="loss:0.1").engine
             == "reset"
@@ -253,6 +265,9 @@ class TestVectorEngine:
 
     def test_auto_prefers_vector_when_eligible(self):
         assert run_replications(256, "push-pull", reps=2).engine == "vector"
+        # Since the cluster pipeline gained batch runners, auto resolves
+        # to vector for the paper's algorithms too.
+        assert run_replications(256, "cluster2", reps=2).engine == "vector"
 
 
 class TestRebuildEngine:

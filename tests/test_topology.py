@@ -338,13 +338,37 @@ class TestThreadedSurface:
         )
         assert (lean.informed == fresh.informed).all()
 
-    def test_vector_engine_refuses_restricted_topologies(self):
-        with pytest.raises(ValueError, match="complete-graph"):
-            run_replications(
-                256, "push-pull", reps=2, topology=Ring(k=2), engine="vector"
-            )
+    def test_vector_engine_topology_eligibility(self):
+        # Topology-capable batch runners (push-pull, the cluster pipeline)
+        # ride the vector engine on restricted graphs under global
+        # addressing...
+        s = run_replications(
+            256, "push-pull", reps=2, topology=Ring(k=2), engine="vector"
+        )
+        assert s.engine == "vector" and s.reps == 2
         assert (
             run_replications(256, "push-pull", reps=2, topology=Ring(k=2)).engine
+            == "vector"
+        )
+        # ...but topology-restricted direct addressing needs the engine's
+        # reachability oracle, so the vector path refuses it.
+        with pytest.raises(ValueError, match="vector engine unavailable"):
+            run_replications(
+                256,
+                "push-pull",
+                reps=2,
+                topology=Ring(k=2),
+                direct_addressing="topology",
+                engine="vector",
+            )
+        assert (
+            run_replications(
+                256,
+                "push-pull",
+                reps=2,
+                topology=Ring(k=2),
+                direct_addressing="topology",
+            ).engine
             == "reset"
         )
 
