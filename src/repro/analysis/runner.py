@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 from repro.analysis.stats import ReplicationSummary, Summary, summarize
 from repro.core.broadcast import broadcast, run_replications
 from repro.core.result import AlgorithmReport
+from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.sim.dynamics import AdversitySchedule
 from repro.sim.topology import Topology
 
@@ -60,11 +61,21 @@ class RunSpec:
     direct_addressing: str = "global"
     reps: int = 1
     engine: str = "auto"
+    #: Optional frozen telemetry knobs: the job builds a collector inside
+    #: its worker process, threads it through the engines, and hands it
+    #: back on the result (``report.extras["telemetry"]`` /
+    #: ``summary.telemetry``) for the parent to merge and export.
+    telemetry: Optional[TelemetryConfig] = None
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def run(self) -> AlgorithmReport:
         """Execute this job once (at ``seed``), returning the full report."""
-        return broadcast(
+        collector = (
+            Telemetry.from_config(self.telemetry)
+            if self.telemetry is not None
+            else None
+        )
+        report = broadcast(
             self.n,
             self.algorithm,
             seed=self.seed,
@@ -77,13 +88,22 @@ class RunSpec:
             task_kwargs=dict(self.task_kwargs),
             topology=self.topology,
             direct_addressing=self.direct_addressing,
+            telemetry=collector,
             check_model=self.check_model,
             **self.kwargs,
         )
+        if collector is not None:
+            report.extras["telemetry"] = collector
+        return report
 
     def replicate(self) -> ReplicationSummary:
         """Execute this job as a ``reps``-seed streamed replication suite."""
-        return run_replications(
+        collector = (
+            Telemetry.from_config(self.telemetry)
+            if self.telemetry is not None
+            else None
+        )
+        summary = run_replications(
             self.n,
             self.algorithm,
             reps=self.reps,
@@ -98,9 +118,13 @@ class RunSpec:
             task_kwargs=dict(self.task_kwargs),
             topology=self.topology,
             direct_addressing=self.direct_addressing,
+            telemetry=collector,
             check_model=self.check_model,
             **self.kwargs,
         )
+        if collector is not None:
+            summary.telemetry = collector
+        return summary
 
     def describe(self) -> str:
         tail = f" x{self.reps}" if self.reps > 1 else f" seed={self.seed}"

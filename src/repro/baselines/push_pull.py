@@ -61,8 +61,12 @@ class PushPullProtocol(VectorProtocol):
         return bool(self.informed[self._alive].all())
 
     def progress(self) -> float:
-        alive = int(self._alive.sum())
-        return float(self.informed[self._alive].sum() / alive) if alive else 1.0
+        # count_nonzero over a fused mask: no fancy-index gather, so the
+        # per-round telemetry probe stays cheap even at n = 2^18.
+        alive = int(np.count_nonzero(self._alive))
+        if not alive:
+            return 1.0
+        return float(np.count_nonzero(self.informed & self._alive) / alive)
 
 
 def push_pull_round_cap(n: int) -> int:
@@ -112,6 +116,7 @@ def batched_push_pull(
     source: "int | None" = 0,
     max_rounds: "int | None" = None,
     graph=None,
+    telemetry=None,
 ) -> BatchOutcome:
     """PUSH-PULL over its full w.h.p. schedule, ``reps`` replications at
     once in ``(reps, n)`` arrays (see :mod:`repro.sim.batch`).
@@ -129,6 +134,12 @@ def batched_push_pull(
     instead of the uniform draw: an isolated node's ``-1`` contact is a
     charged-but-undelivered push (and an unanswered pull), exactly the
     engine's restricted-topology rule.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.RunTelemetry` handle, or
+    ``None``) samples the batch every ``probe_every`` steps: mean
+    informed fraction and cumulative messages/bits over all replications
+    in the chunk, plus a forced final sample so series totals match the
+    outcome exactly.
     """
     if reps < 1:
         raise ValueError(f"reps must be positive, got {reps}")
@@ -180,7 +191,22 @@ def batched_push_pull(
         done = informed.all(axis=1)
         completion[(completion < 0) & done] = step + 1
 
+        if telemetry is not None and (step + 1) % telemetry.probe_every == 0:
+            telemetry.series.append(
+                round=step + 1,
+                informed=float(informed.mean()),
+                messages=int(messages.sum()),
+                bits=int(messages.sum()) * int(message_bits),
+            )
+
     informed_counts = informed.sum(axis=1)
+    if telemetry is not None:
+        telemetry.series.force(
+            round=cap,
+            informed=float(informed.mean()),
+            messages=int(messages.sum()),
+            bits=int(messages.sum()) * int(message_bits),
+        )
     return BatchOutcome(
         algorithm="push-pull",
         n=n,
@@ -217,3 +243,7 @@ register_batch_runner("push-pull", task="min-max")(batched_min_max)
 #: run_replications threads the bound contact graph into the vector call
 #: for runners that advertise restricted-topology support.
 batched_push_pull.supports_topology = True
+
+#: run_replications hands runners that advertise telemetry support the
+#: chunk's RunTelemetry handle for per-step series sampling.
+batched_push_pull.supports_telemetry = True

@@ -12,6 +12,10 @@ Commands:
   executor);
 * ``sweep`` — an algorithm x n x seed grid, rendered as a table
   (``--workers N`` fans the jobs out over N processes);
+* ``report`` — render a telemetry JSONL file (written by
+  ``run``/``sweep`` ``--telemetry out.jsonl``, sampling every
+  ``--probe-every K`` rounds) as a phase x wall-clock table plus
+  round-series summaries;
 * ``scenario`` — a named workload preset;
 * ``suite`` — a scenario x seed grid through the parallel executor
   (``--json PATH`` dumps the records for CI artifacts; ``--reps N``
@@ -26,13 +30,27 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import asdict
 from typing import Any, Dict, List, Optional
 
-from repro.analysis.runner import aggregate, sweep
+from repro.analysis.runner import (
+    aggregate,
+    expand_grid,
+    record_from_report,
+    sweep,
+    sweep_reports,
+)
 from repro.analysis.tables import Table
 from repro.core.broadcast import REPLICATION_ENGINES, broadcast, run_replications
+from repro.obs import (
+    Telemetry,
+    TelemetryConfig,
+    read_jsonl,
+    render_report,
+    validate_records,
+)
 from repro.core.lower_bound import min_feasible_rounds, theorem3_bound
 from repro.registry import (
     algorithm_names,
@@ -174,6 +192,38 @@ def _add_dynamics_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="collect observability data (wall-clock spans, per-round "
+        "probe series, trace events) and export it as JSONL to PATH "
+        "(render with `repro report PATH`)",
+    )
+    parser.add_argument(
+        "--probe-every",
+        type=int,
+        default=1,
+        metavar="K",
+        help="with --telemetry, sample the per-round probes every K "
+        "committed rounds (default 1)",
+    )
+
+
+def _telemetry_from_args(args: argparse.Namespace) -> Optional[Telemetry]:
+    if getattr(args, "telemetry", None) is None:
+        return None
+    return Telemetry(probe_every=args.probe_every)
+
+
+def _write_telemetry(collector: Optional[Telemetry], path: Optional[str]) -> None:
+    if collector is None or path is None:
+        return
+    count = collector.write(path)
+    print(f"wrote {count} telemetry records to {path}")
+
+
 def _replication_table(summaries, title: str) -> Table:
     table = Table(
         title=title,
@@ -214,6 +264,7 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
                 f"success={scalars['success']}"
             )
 
+    collector = _telemetry_from_args(args)
     summary = run_replications(
         args.n,
         args.algorithm,
@@ -229,8 +280,10 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
         direct_addressing=args.direct_addressing,
         consume=consume,
         workers=args.workers,
+        telemetry=collector,
     )
     print(_replication_table([summary], f"{args.reps} replications").render())
+    _write_telemetry(collector, args.telemetry)
     return 0 if summary.success_rate > 0 else 1
 
 
@@ -256,6 +309,7 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
             "running a single broadcast",
             file=sys.stderr,
         )
+    collector = _telemetry_from_args(args)
     report = broadcast(
         args.n,
         args.algorithm,
@@ -267,10 +321,12 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
         task_kwargs=_task_kwargs_from_args(args),
         topology=_topology_from_args(args),
         direct_addressing=args.direct_addressing,
+        telemetry=collector,
     )
     print(report)
     print()
     print(report.metrics.phase_report())
+    _write_telemetry(collector, args.telemetry)
     if "task_error" in report.extras:
         print()
         print(
@@ -315,12 +371,17 @@ def _sweep_table(records) -> Table:
     return table
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    # Same clean-config-error contract as `run`: an incompatible
-    # (algorithm, topology) pair, a bad schedule spec, or an unknown
-    # topology knob is user input — print the message, exit 2.
-    try:
-        records = sweep(
+def _sweep_with_telemetry(args: argparse.Namespace):
+    """The sweep grid with per-job collectors: jobs run via
+    :func:`sweep_reports` (each builds a collector from the frozen
+    config inside its worker), the collectors merge back in grid order
+    into one file, and the reports flatten into the usual records."""
+    from dataclasses import replace
+
+    config = TelemetryConfig(probe_every=args.probe_every)
+    specs = [
+        replace(spec, telemetry=config)
+        for spec in expand_grid(
             args.algorithms,
             args.ns,
             list(range(args.seeds)),
@@ -328,12 +389,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             schedule=_schedule_from_args(args),
             topology=_topology_from_args(args),
             direct_addressing=args.direct_addressing,
-            workers=args.workers,
         )
+    ]
+    reports = sweep_reports(specs, workers=args.workers)
+    merged = Telemetry(probe_every=args.probe_every)
+    for report in reports:
+        merged.merge(report.extras.pop("telemetry"))
+    _write_telemetry(merged, args.telemetry)
+    return [
+        record_from_report(report, spec) for report, spec in zip(reports, specs)
+    ]
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Same clean-config-error contract as `run`: an incompatible
+    # (algorithm, topology) pair, a bad schedule spec, or an unknown
+    # topology knob is user input — print the message, exit 2.
+    try:
+        if args.telemetry is not None:
+            records = _sweep_with_telemetry(args)
+        else:
+            records = sweep(
+                args.algorithms,
+                args.ns,
+                list(range(args.seeds)),
+                message_bits=args.message_bits,
+                schedule=_schedule_from_args(args),
+                topology=_topology_from_args(args),
+                direct_addressing=args.direct_addressing,
+                workers=args.workers,
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(_sweep_table(records).render())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        records = read_jsonl(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_records(records)
+    if problems:
+        for problem in problems:
+            print(f"invalid telemetry: {problem}", file=sys.stderr)
+        return 2
+    print(render_report(records, max_series_rows=args.series_rows))
     return 0
 
 
@@ -553,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dynamics_flags(p_run)
     _add_topology_flags(p_run)
+    _add_telemetry_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="algorithm x n x seed grid")
@@ -569,7 +674,21 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dynamics_flags(p_sweep)
     _add_topology_flags(p_sweep)
+    _add_telemetry_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
+
+    p_report = sub.add_parser(
+        "report", help="render a telemetry JSONL file (from --telemetry)"
+    )
+    p_report.add_argument("file", help="telemetry JSONL file to render")
+    p_report.add_argument(
+        "--series-rows",
+        type=int,
+        default=12,
+        metavar="N",
+        help="max displayed rows per round series (default 12)",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_sc = sub.add_parser("scenario", help="run a named workload")
     p_sc.add_argument("name", choices=sorted(SCENARIOS))
@@ -626,7 +745,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-print: not an error.
+        # Point stdout at devnull so the interpreter's shutdown flush
+        # doesn't raise again, and exit like a SIGPIPE'd process.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

@@ -39,6 +39,7 @@ from repro.registry import (
     get_algorithm,
     get_task,
 )
+from repro.obs.spans import maybe_span
 from repro.sim.batch import DEFAULT_BATCH_ELEMS, batch_size
 from repro.sim.dynamics import AdversitySchedule, resolve_schedule
 from repro.sim.topology import ADDRESSING_MODES, Topology, resolve_topology
@@ -51,6 +52,7 @@ from repro.sim.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.stats import ReplicationSummary
+    from repro.obs.telemetry import Telemetry
 
 #: Re-exported so ``from repro import BroadcastResult`` reads naturally.
 BroadcastResult = AlgorithmReport
@@ -113,6 +115,7 @@ def broadcast(
     direct_addressing: str = "global",
     profile: "Profile | str" = LAPTOP,
     trace: Optional[Trace] = None,
+    telemetry: "Optional[Telemetry]" = None,
     check_model: bool = True,
     **algorithm_kwargs,
 ) -> AlgorithmReport:
@@ -171,6 +174,13 @@ def broadcast(
         the complete graph is gone.
     profile:
         Constant-resolution profile or its name.
+    telemetry:
+        Optional :class:`repro.obs.telemetry.Telemetry` collector.  When
+        given, the run records wall-clock phase spans, a per-round probe
+        series and (unless event collection is off) the trace events into
+        a run handle on the collector; export with
+        :meth:`~repro.obs.telemetry.Telemetry.write`.  ``None`` (default)
+        leaves the engine on the untouched zero-overhead path.
     check_model:
         Enable the engine's one-initiation-per-round validation.
     algorithm_kwargs:
@@ -206,6 +216,7 @@ def broadcast(
         task_kwargs=task_kwargs,
         profile=profile,
         trace=trace,
+        telemetry=telemetry,
         check_model=check_model,
         pool=None,
         algorithm_kwargs=algorithm_kwargs,
@@ -228,6 +239,7 @@ def _run_on_network(
     algorithm_kwargs: dict,
     task: str = BROADCAST_TASK,
     task_kwargs: Optional[Dict[str, Any]] = None,
+    telemetry: "Optional[Telemetry]" = None,
 ) -> AlgorithmReport:
     """Execute one seeded broadcast on an already-built network.
 
@@ -258,6 +270,28 @@ def _run_on_network(
         dynamics=dynamics,
         pool=pool,
     )
+    tel_run = None
+    if telemetry is not None:
+        tel_run = telemetry.begin_run(
+            {
+                "kind": "sequential",
+                "algorithm": spec.name,
+                "task": task,
+                "n": net.n,
+                "seed": seed,
+                "source": int(source),
+                "message_bits": net.sizes.rumor_bits,
+            }
+        )
+        if trace is None and telemetry.collect_events:
+            trace = Trace()
+        # All sequential telemetry rides pre-existing attachment points
+        # (commit hooks, Metrics.span_recorder): the engine's hot paths
+        # are byte-identical whether telemetry is on or off.
+        sim.telemetry = tel_run
+        sim.metrics.span_recorder = tel_run.spans
+        sim.add_commit_hook(tel_run.on_round)
+        tel_run.sample(sim)  # round-0 baseline
     if task == BROADCAST_TASK:
         report = spec.run(sim, source, profile, trace, **algorithm_kwargs)
     else:
@@ -269,6 +303,8 @@ def _run_on_network(
             **(task_kwargs or {}),
         )
         report = spec.run_task(sim, state, profile, trace, **algorithm_kwargs)
+    if tel_run is not None:
+        telemetry.finish_run(tel_run, sim=sim, report=report)
     report.extras.setdefault("seed", seed)
     report.extras.setdefault("failures", failures)
     report.extras.setdefault("source", int(source))
@@ -350,7 +386,12 @@ class ReplicationEngine:
         """The shared per-round scratch pool (exposed for tests)."""
         return self._pool
 
-    def run(self, seed: int, trace: Optional[Trace] = None) -> AlgorithmReport:
+    def run(
+        self,
+        seed: int,
+        trace: Optional[Trace] = None,
+        telemetry: "Optional[Telemetry]" = None,
+    ) -> AlgorithmReport:
         """Execute one replication, bit-identical to ``broadcast(seed=seed)``."""
         net_seed = derive_seed(seed, "net")
         if self._net is None:
@@ -376,6 +417,7 @@ class ReplicationEngine:
             task_kwargs=self.task_kwargs,
             profile=self.profile,
             trace=trace,
+            telemetry=telemetry,
             check_model=self.check_model,
             pool=self._pool,
             algorithm_kwargs=self.algorithm_kwargs,
@@ -407,6 +449,7 @@ def run_replications(
     consume: Optional[Callable[[dict], None]] = None,
     batch_elems: int = DEFAULT_BATCH_ELEMS,
     workers: Optional[int] = None,
+    telemetry: "Optional[Telemetry]" = None,
     _seed_offset: int = 0,
     **algorithm_kwargs: Any,
 ) -> ReplicationSummary:
@@ -457,6 +500,15 @@ def run_replications(
     when sharding.  ``_seed_offset`` is internal plumbing: it keeps a
     vector shard's per-chunk seed derivation aligned with the serial
     chunk sequence.
+
+    Telemetry
+    ---------
+    ``telemetry`` (a :class:`repro.obs.telemetry.Telemetry`) records one
+    run handle per sequential replication, or one per vector chunk (the
+    chunk is the vector engine's unit of execution — its spans time the
+    phase drivers, its series carries batch-aggregate samples).  Sharded
+    runs give each shard a fresh collector and merge them back in shard
+    order, so the exported run ids are worker-count independent.
     """
     # Imported here, not at module top: repro.analysis.runner imports this
     # module, so a top-level import of repro.analysis would be circular.
@@ -529,6 +581,7 @@ def run_replications(
             batch_elems=batch_elems,
             batch_runner=batch_runner,
             workers=workers,
+            telemetry=telemetry,
             algorithm_kwargs=algorithm_kwargs,
         )
 
@@ -570,14 +623,33 @@ def run_replications(
             chunk_kwargs = dict(runner_kwargs)
             if graph is not None:
                 chunk_kwargs["graph"] = graph
-            outcome = batch_runner(
-                n,
-                take,
-                rng,
-                message_bits=message_bits,
-                source=source,
-                **chunk_kwargs,
-            )
+            tel_run = None
+            if telemetry is not None:
+                tel_run = telemetry.begin_run(
+                    {
+                        "kind": "vector",
+                        "algorithm": algorithm,
+                        "task": task,
+                        "n": n,
+                        "reps": take,
+                        "first_rep": _seed_offset + done,
+                        "base_seed": base_seed,
+                        "message_bits": message_bits,
+                    }
+                )
+                if getattr(batch_runner, "supports_telemetry", False):
+                    chunk_kwargs["telemetry"] = tel_run
+            with maybe_span(tel_run, "chunk"):
+                outcome = batch_runner(
+                    n,
+                    take,
+                    rng,
+                    message_bits=message_bits,
+                    source=source,
+                    **chunk_kwargs,
+                )
+            if tel_run is not None:
+                telemetry.finish_run(tel_run, outcome=outcome)
             for i in range(outcome.reps):
                 feed(done + i, None, outcome.rep_scalars(i))
             done += take
@@ -600,7 +672,10 @@ def run_replications(
             check_model=check_model,
             **algorithm_kwargs,
         )
-        run_one = replication.run
+
+        def run_one(seed: int) -> AlgorithmReport:
+            return replication.run(seed, telemetry=telemetry)
+
     else:  # rebuild — the legacy loop
 
         def run_one(seed: int) -> AlgorithmReport:
@@ -618,6 +693,7 @@ def run_replications(
                 topology=resolved_topology,
                 direct_addressing=direct_addressing,
                 profile=profile,
+                telemetry=telemetry,
                 check_model=check_model,
                 **algorithm_kwargs,
             )
@@ -634,10 +710,13 @@ def run_replications(
 MAX_SEQUENTIAL_SHARDS = 16
 
 
-def _replication_shard(payload: dict) -> "ReplicationSummary":
+def _replication_shard(payload: dict):
     """Process-pool entry point: one shard of a sharded run (top-level so
-    it pickles)."""
-    return run_replications(**payload)
+    it pickles).  Returns ``(summary, shard_telemetry_or_None)`` — the
+    shard's collector mutates in the worker process, so it must travel
+    back with the summary."""
+    summary = run_replications(**payload)
+    return summary, payload.get("telemetry")
 
 
 def _shard_plan(
@@ -689,10 +768,12 @@ def _run_sharded(
     batch_elems: int,
     batch_runner: Optional[Callable],
     workers: int,
+    telemetry: "Optional[Telemetry]",
     algorithm_kwargs: Dict[str, Any],
 ) -> "ReplicationSummary":
     """Split ``reps`` into shard blocks, run each as its own (serial)
-    ``run_replications``, merge the shard summaries in shard order."""
+    ``run_replications``, merge the shard summaries (and shard telemetry
+    collectors) in shard order."""
     from repro.analysis.stats import ReplicationSummary
 
     weigh = getattr(batch_runner, "elements_per_node", None)
@@ -727,20 +808,26 @@ def _run_sharded(
             # Sequential shards: replication i still runs seed
             # base_seed + i, exactly as the serial loop would.
             payload.update(base_seed=base_seed + start)
+        if telemetry is not None:
+            # Fresh per-shard collector; merged back below in shard
+            # order, so run ids never depend on the worker count.
+            payload["telemetry"] = telemetry.spawn()
         payloads.append(payload)
 
     if workers == 1 or len(payloads) == 1:
-        shard_summaries = [_replication_shard(p) for p in payloads]
+        shard_results = [_replication_shard(p) for p in payloads]
     else:
         # Imported lazily: the serial path stays free of executor setup.
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
-            shard_summaries = list(pool.map(_replication_shard, payloads))
+            shard_results = list(pool.map(_replication_shard, payloads))
 
     merged = ReplicationSummary(algorithm=algorithm, n=n, engine=engine, task=task)
-    for shard in shard_summaries:
+    for shard, shard_telemetry in shard_results:
         merged.merge(shard)
+        if telemetry is not None and shard_telemetry is not None:
+            telemetry.merge(shard_telemetry)
     return merged
 
 

@@ -68,6 +68,8 @@ def cluster2(
     trace = trace if trace is not None else null_trace()
     p = params if params is not None else profile.cluster2(sim.net.n)
     cl = Clustering(sim.net)
+    if sim.telemetry is not None:
+        sim.telemetry.add_probe("clusters", lambda s, cl=cl: float(cl.cluster_count()))
 
     grow_initial_clusters_v2(sim, cl, p, trace)
     square_report = square_clusters_v2(sim, cl, p, trace)

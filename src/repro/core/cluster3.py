@@ -98,6 +98,8 @@ def cluster3(
             f"{p2.big_size} (use delta >= {min_delta})"
         )
     cl = Clustering(sim.net)
+    if sim.telemetry is not None:
+        sim.telemetry.add_probe("clusters", lambda s, cl=cl: float(cl.cluster_count()))
 
     grow_initial_clusters_v2(sim, cl, p2, trace)
     square_report = square_clusters_v2(sim, cl, p2, trace, stop_at=p3.square_until)

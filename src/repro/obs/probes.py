@@ -1,0 +1,118 @@
+"""Bounded columnar per-round sample series.
+
+A :class:`RoundSeries` holds one run's per-round probe samples as
+parallel columns (``round`` plus whatever the probes measured: informed
+fraction, alive count, cluster count, cumulative messages/bits, ...).
+Memory is bounded: when the kept rows reach ``cap`` the series halves
+itself and doubles its sampling stride, so an n = 2^18 run with
+thousands of rounds keeps a uniformly-thinned trajectory in O(cap)
+space.  The *final* sample is never lost — engines push it through
+:meth:`force` when a run finishes, which is what lets tests assert that
+the series' last cumulative counters equal the final ``Metrics`` exactly
+even after decimation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+
+def _py(value: Any) -> Any:
+    """Plain-python coercion (numpy scalars → int/float) so series stay
+    picklable and JSON-serialisable without a numpy dependency at read
+    time."""
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    item = getattr(value, "item", None)
+    return item() if callable(item) else value
+
+
+class RoundSeries:
+    """Columnar, decimating, append-only per-round samples."""
+
+    def __init__(self, cap: int = 2048) -> None:
+        if cap < 8:
+            raise ValueError(f"series cap must be >= 8, got {cap}")
+        self.cap = int(cap)
+        self._cols: Dict[str, List[Any]] = {"round": []}
+        self._appends = 0  # offered samples (kept or thinned away)
+        self._stride = 1
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+
+    def append(self, **values: Any) -> None:
+        """Offer one sample; kept iff it lands on the current stride."""
+        if "round" not in values:
+            raise ValueError("a round-series sample needs a 'round' value")
+        keep = self._appends % self._stride == 0
+        self._appends += 1
+        if not keep:
+            return
+        self._push_row(values)
+        if len(self._cols["round"]) >= self.cap:
+            self._halve()
+
+    def force(self, **values: Any) -> None:
+        """Append bypassing decimation (the final-sample guarantee); a
+        sample for the already-kept last round updates it in place."""
+        if "round" not in values:
+            raise ValueError("a round-series sample needs a 'round' value")
+        rounds = self._cols["round"]
+        if rounds and rounds[-1] == values["round"]:
+            last = len(rounds) - 1
+            for name in set(self._cols) | set(values):
+                if name not in self._cols:
+                    self._cols[name] = [None] * len(rounds)
+                if name in values:
+                    self._cols[name][last] = _py(values[name])
+            return
+        self._push_row(values)
+
+    def _push_row(self, values: Dict[str, Any]) -> None:
+        length = len(self._cols["round"])
+        for name in values:
+            if name not in self._cols:
+                self._cols[name] = [None] * length
+        for name, col in self._cols.items():
+            col.append(_py(values[name]) if name in values else None)
+
+    def _halve(self) -> None:
+        for col in self._cols.values():
+            col[:] = col[::2]
+        self._stride *= 2
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+
+    @property
+    def decimated(self) -> bool:
+        """True once at least one thinning pass has run."""
+        return self._stride > 1
+
+    @property
+    def stride(self) -> int:
+        return self._stride
+
+    def to_columns(self) -> Dict[str, List[Any]]:
+        """Column-name → value-list copy (parallel lengths)."""
+        return {name: list(col) for name, col in self._cols.items()}
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """The kept samples as row dicts, in round order."""
+        names = list(self._cols)
+        return [
+            {name: self._cols[name][i] for name in names}
+            for i in range(len(self._cols["round"]))
+        ]
+
+    def last(self) -> Dict[str, Any]:
+        """The most recent kept sample (raises on an empty series)."""
+        if not self._cols["round"]:
+            raise IndexError("empty round series")
+        return {name: col[-1] for name, col in self._cols.items()}
+
+    def __len__(self) -> int:
+        return len(self._cols["round"])

@@ -1,0 +1,147 @@
+"""Render a telemetry JSONL file for terminals (``repro report``).
+
+Input is the record list of :func:`repro.obs.sink.read_jsonl`; output is
+a phase × wall-clock table (aggregated over every run, plus per-run
+detail for the first few) and a per-run round-series summary thinned to
+a displayable row count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Shown in the ``wall ms`` column when no span timed the phase.
+EM_DASH = "—"
+
+#: Runs given full per-run detail before the renderer switches to a
+#: one-line-per-run roll-up.
+_DETAIL_RUNS = 4
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return EM_DASH
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _series_table(columns: Dict[str, List[Any]], max_rows: int) -> List[str]:
+    names = ["round"] + [n for n in columns if n != "round"]
+    total = len(columns["round"])
+    if total <= max_rows:
+        picks = list(range(total))
+    else:
+        # Evenly spaced display rows, always keeping first and last.
+        picks = sorted({round(i * (total - 1) / (max_rows - 1)) for i in range(max_rows)})
+    rows = [[_fmt(columns[n][i]) for n in names] for i in picks]
+    widths = [
+        max(len(name), *(len(row[j]) for row in rows)) for j, name in enumerate(names)
+    ]
+    lines = ["  " + "  ".join(name.rjust(widths[j]) for j, name in enumerate(names))]
+    for row in rows:
+        lines.append("  " + "  ".join(cell.rjust(widths[j]) for j, cell in enumerate(row)))
+    if total > max_rows:
+        lines.append(f"  ({total} samples, {len(picks)} shown)")
+    return lines
+
+
+def _phase_lines(phases: Dict[str, Dict[str, Any]], indent: str = "  ") -> List[str]:
+    header = (
+        f"{'phase':<22}{'rounds':>7}{'msgs':>10}{'bits':>13}{'wall ms':>10}"
+    )
+    lines = [indent + header, indent + "-" * len(header)]
+    for name, st in phases.items():
+        wall = st.get("wall_ms", 0.0)
+        wall_s = f"{wall:.1f}" if wall else EM_DASH
+        lines.append(
+            indent
+            + f"{name:<22}{st['rounds']:>7}{st['messages']:>10}"
+            + f"{st['bits']:>13}{wall_s:>10}"
+        )
+    return lines
+
+
+def _span_lines(spans: List[Dict[str, Any]], indent: str = "  ") -> List[str]:
+    totals: Dict[str, List[float]] = {}
+    for rec in spans:
+        entry = totals.setdefault(rec["name"], [0, 0.0])
+        entry[0] += 1
+        entry[1] += rec["wall_ms"]
+    header = f"{'span':<28}{'count':>7}{'wall ms':>10}"
+    lines = [indent + header, indent + "-" * len(header)]
+    for name, (count, wall) in totals.items():
+        lines.append(indent + f"{name:<28}{count:>7}{wall:>10.1f}")
+    return lines
+
+
+def render_report(records: List[Dict[str, Any]], max_series_rows: int = 12) -> str:
+    """The human-readable rendering of one telemetry file."""
+    meta = records[0] if records and records[0].get("type") == "meta" else {}
+    runs = [r for r in records if r.get("type") == "run"]
+    spans: Dict[int, List[Dict[str, Any]]] = {}
+    series: Dict[int, Dict[str, Any]] = {}
+    events: Dict[int, int] = {}
+    for rec in records:
+        if rec.get("type") == "span":
+            spans.setdefault(rec["run"], []).append(rec)
+        elif rec.get("type") == "series":
+            series[rec["run"]] = rec
+        elif rec.get("type") == "event":
+            events[rec["run"]] = events.get(rec["run"], 0) + 1
+
+    lines = [
+        f"telemetry: schema {meta.get('schema', '?')}, {len(runs)} run(s), "
+        f"probe_every={meta.get('probe_every', '?')}"
+    ]
+
+    # Aggregate phase × wall-clock over every run that recorded phases.
+    agg: Dict[str, Dict[str, Any]] = {}
+    for run in runs:
+        for name, st in (run.get("phases") or {}).items():
+            cell = agg.setdefault(
+                name, {"rounds": 0, "messages": 0, "bits": 0, "wall_ms": 0.0}
+            )
+            for key in cell:
+                cell[key] += st.get(key, 0)
+    if agg:
+        lines.append("")
+        lines.append(f"phase x wall-clock (summed over {len(runs)} run(s)):")
+        lines.extend(_phase_lines(agg))
+
+    for run in runs[:_DETAIL_RUNS]:
+        rid = run["id"]
+        cfg = run.get("config", {})
+        desc = " ".join(f"{k}={_fmt(v)}" for k, v in cfg.items())
+        lines.append("")
+        lines.append(f"run {rid}: {desc}")
+        summary = run.get("summary", {})
+        if summary:
+            lines.append(
+                "  summary: " + " ".join(f"{k}={_fmt(v)}" for k, v in summary.items())
+            )
+        if run.get("phases"):
+            lines.extend(_phase_lines(run["phases"]))
+        elif spans.get(rid):
+            lines.extend(_span_lines(spans[rid]))
+        if rid in series:
+            rec = series[rid]
+            thin = " (decimated)" if rec.get("decimated") else ""
+            lines.append(f"  round series{thin}:")
+            lines.extend(_series_table(rec["columns"], max_series_rows))
+        if events.get(rid):
+            lines.append(f"  trace events: {events[rid]}")
+
+    if len(runs) > _DETAIL_RUNS:
+        lines.append("")
+        for run in runs[_DETAIL_RUNS:]:
+            summary = run.get("summary", {})
+            brief = " ".join(
+                f"{k}={_fmt(summary[k])}"
+                for k in ("rounds", "rounds_mean", "messages", "messages_total", "success", "success_rate")
+                if k in summary
+            )
+            lines.append(f"run {run['id']}: {brief}")
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""JSONL telemetry export, import, and schema validation.
+
+One telemetry file is a sequence of JSON objects, one per line, in a
+fixed record order: a ``meta`` header, then per run (ascending ``id``) a
+``run`` record followed by its ``span``, ``series`` and ``event``
+records.  The schema (version :data:`TELEMETRY_SCHEMA_VERSION`, also
+documented in the README "Observability" section):
+
+``meta``
+    ``schema`` (int), ``generator`` (str), ``probe_every`` (int),
+    ``series_cap`` (int), ``runs`` (int).
+``run``
+    ``id`` (int), ``config`` (object: engine/algorithm/n/seed/...),
+    ``summary`` (object: rounds/messages/bits/success... or the vector
+    chunk aggregates), ``phases`` (object name → {rounds, messages,
+    bits, max_fanin, wall_ms}, or null for vector chunks).
+``span``
+    ``run`` (int), ``name`` (str), ``start_ms``/``wall_ms`` (float,
+    wall_ms >= 0), ``depth`` (int >= 0).
+``series``
+    ``run`` (int), ``probe_every`` (int), ``decimated`` (bool),
+    ``stride`` (int), ``columns`` (object name → equal-length arrays,
+    always including ``round``).
+``event``
+    ``run`` (int), ``round`` (int), ``kind`` (str), ``data`` (object).
+
+:func:`validate_records` checks all of this and is what the CI
+telemetry smoke leg (and ``repro report``) runs against a file before
+trusting it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.obs.telemetry import TELEMETRY_SCHEMA_VERSION
+
+_RECORD_TYPES = ("meta", "run", "span", "series", "event")
+
+
+def write_jsonl(records, path: str) -> int:
+    """Write records (dicts) as JSONL; returns how many were written."""
+    count = 0
+    with open(path, "w") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True, default=str))
+            fh.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL telemetry file back into record dicts."""
+    records = []
+    with open(path) as fh:
+        for line_no, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_no}: invalid JSON ({exc})") from exc
+    return records
+
+
+def validate_records(records: List[Dict[str, Any]]) -> List[str]:
+    """Schema-check records; returns problem strings (empty = valid)."""
+    problems: List[str] = []
+    if not records:
+        return ["empty telemetry file (no records)"]
+    head = records[0]
+    if head.get("type") != "meta":
+        problems.append(f"first record must be 'meta', got {head.get('type')!r}")
+    elif head.get("schema") != TELEMETRY_SCHEMA_VERSION:
+        problems.append(
+            f"unsupported schema {head.get('schema')!r} "
+            f"(expected {TELEMETRY_SCHEMA_VERSION})"
+        )
+    run_ids = set()
+    for i, rec in enumerate(records):
+        kind = rec.get("type")
+        where = f"record {i}"
+        if kind not in _RECORD_TYPES:
+            problems.append(f"{where}: unknown type {kind!r}")
+            continue
+        if kind == "run":
+            if not isinstance(rec.get("id"), int):
+                problems.append(f"{where}: run record without integer 'id'")
+                continue
+            run_ids.add(rec["id"])
+            if not isinstance(rec.get("config"), dict):
+                problems.append(f"{where}: run {rec['id']} has no config object")
+            if not isinstance(rec.get("summary"), dict):
+                problems.append(f"{where}: run {rec['id']} has no summary object")
+        elif kind in ("span", "series", "event"):
+            if rec.get("run") not in run_ids:
+                problems.append(
+                    f"{where}: {kind} references unknown run {rec.get('run')!r}"
+                )
+        if kind == "span":
+            if not isinstance(rec.get("name"), str):
+                problems.append(f"{where}: span without a name")
+            wall = rec.get("wall_ms")
+            if not isinstance(wall, (int, float)) or wall < 0:
+                problems.append(f"{where}: span wall_ms must be >= 0, got {wall!r}")
+            depth = rec.get("depth")
+            if not isinstance(depth, int) or depth < 0:
+                problems.append(f"{where}: span depth must be >= 0, got {depth!r}")
+        elif kind == "series":
+            columns = rec.get("columns")
+            if not isinstance(columns, dict) or "round" not in columns:
+                problems.append(f"{where}: series needs a 'round' column")
+            else:
+                lengths = {name: len(col) for name, col in columns.items()}
+                if len(set(lengths.values())) > 1:
+                    problems.append(f"{where}: ragged series columns {lengths}")
+        elif kind == "event":
+            if not isinstance(rec.get("kind"), str):
+                problems.append(f"{where}: event without a kind")
+            if not isinstance(rec.get("round"), int):
+                problems.append(f"{where}: event without an integer round")
+    if head.get("type") == "meta" and isinstance(head.get("runs"), int):
+        if head["runs"] != len(run_ids):
+            problems.append(
+                f"meta announces {head['runs']} runs, file has {len(run_ids)}"
+            )
+    return problems
+
+
+class TelemetrySink:
+    """A JSONL destination for one :class:`~repro.obs.telemetry.Telemetry`."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def write(self, telemetry) -> int:
+        """Export the collector; returns the record count."""
+        return write_jsonl(telemetry.records(), self.path)
+
+    def read(self) -> List[Dict[str, Any]]:
+        return read_jsonl(self.path)
+
+    def validate(self) -> List[str]:
+        return validate_records(self.read())

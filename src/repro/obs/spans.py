@@ -1,0 +1,80 @@
+"""Nestable wall-clock spans.
+
+A :class:`SpanRecorder` is one run's timer stack: ``span(name)`` opens a
+``perf_counter``-based timer, spans nest (the record keeps its depth so
+renderers can indent), and every closed span lands in ``records`` in
+*closing* order.  Start offsets are relative to the recorder's epoch
+(its construction time), so a run's spans are comparable to each other
+without carrying absolute clocks — which also keeps recorders picklable
+and shard-mergeable.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class SpanRecord:
+    """One closed span: where it started (ms since the recorder's epoch),
+    how long it ran, and how deeply it was nested."""
+
+    name: str
+    start_ms: float
+    wall_ms: float
+    depth: int
+
+
+class SpanRecorder:
+    """Collects :class:`SpanRecord` entries for one run."""
+
+    def __init__(self) -> None:
+        self._epoch = perf_counter()
+        self._depth = 0
+        self.records: List[SpanRecord] = []
+
+    def begin(self, name: str) -> Tuple[str, float, int]:
+        """Open a span; returns the token :meth:`end` consumes."""
+        self._depth += 1
+        return (name, perf_counter(), self._depth - 1)
+
+    def end(self, token: Tuple[str, float, int]) -> float:
+        """Close a span, record it, and return its wall-clock in ms."""
+        name, t0, depth = token
+        self._depth -= 1
+        wall_ms = (perf_counter() - t0) * 1e3
+        self.records.append(
+            SpanRecord(name, (t0 - self._epoch) * 1e3, wall_ms, depth)
+        )
+        return wall_ms
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Time the enclosed block (recorded even if it raises)."""
+        token = self.begin(name)
+        try:
+            yield
+        finally:
+            self.end(token)
+
+    def wall_ms_by_name(self) -> Dict[str, Tuple[int, float]]:
+        """``{name: (count, total wall ms)}`` over all closed spans."""
+        out: Dict[str, Tuple[int, float]] = {}
+        for rec in self.records:
+            count, total = out.get(rec.name, (0, 0.0))
+            out[rec.name] = (count + 1, total + rec.wall_ms)
+        return out
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def maybe_span(run: "Optional[object]", name: str):
+    """``run.spans.span(name)`` when a telemetry run is attached, else a
+    no-op context — the one-liner the batch drivers guard with."""
+    if run is None:
+        return nullcontext()
+    return run.spans.span(name)

@@ -1,0 +1,269 @@
+"""The telemetry collector every engine threads through.
+
+A :class:`Telemetry` instance collects one or more :class:`RunTelemetry`
+handles — one per execution: a seeded sequential run, or one chunk of a
+vector batch.  Each handle owns a :class:`~repro.obs.spans.SpanRecorder`
+(wall-clock), a :class:`~repro.obs.probes.RoundSeries` (per-round
+samples), a pluggable probe table, and the run's config/summary/phase
+records; :meth:`Telemetry.records` flattens everything into the JSONL
+schema (:mod:`repro.obs.sink`).
+
+Wiring contract
+---------------
+The *sequential* engine attaches a run by registering
+``run.on_round`` as a :class:`~repro.sim.engine.Simulator` commit hook
+(the pre-existing mechanism task observers use — the commit path gains
+no new code, which is what keeps the telemetry-off path byte-identical
+to the pre-telemetry engine) and pointing ``Metrics.span_recorder`` at
+``run.spans`` so phases time themselves.  Algorithms contribute probes
+via ``sim.telemetry.add_probe(name, fn)`` — ``fn(sim)`` is sampled
+every ``probe_every`` committed rounds (``informed`` from protocol
+progress, ``clusters`` from the clustering, ``task_error`` from task
+states).  *Vector* runners receive the run handle directly and feed
+batch-aggregate samples plus per-phase spans.
+
+Sharded ``run_replications`` gives each shard a fresh collector
+(:meth:`spawn`), then merges the shard collectors back in shard order
+(:meth:`merge`) — the same deterministic, worker-count-independent
+pattern as ``StreamingSummary``.  Finished handles drop their probe
+closures, so collectors pickle across the process pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+from repro.obs.probes import RoundSeries, _py
+from repro.obs.spans import SpanRecorder
+
+#: Version stamped into (and checked against) every JSONL export.
+TELEMETRY_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """Frozen, picklable telemetry knobs — what :class:`RunSpec` carries
+    so sweep jobs can build a collector inside their worker process."""
+
+    probe_every: int = 1
+    series_cap: int = 2048
+    collect_events: bool = True
+
+
+class RunTelemetry:
+    """One execution's telemetry: spans + series + probes + records."""
+
+    def __init__(
+        self, run_id: int, config: Dict[str, Any], probe_every: int, series_cap: int
+    ) -> None:
+        self.run_id = int(run_id)
+        self.config = {k: _py(v) for k, v in dict(config).items()}
+        self.probe_every = max(1, int(probe_every))
+        self.spans = SpanRecorder()
+        self.series = RoundSeries(series_cap)
+        self.summary: Dict[str, Any] = {}
+        self.phases: Optional[Dict[str, Dict[str, Any]]] = None
+        self.events: List[Dict[str, Any]] = []
+        #: Pluggable per-round samplers ``name -> fn(sim) -> value``;
+        #: cleared when the run finishes (closures don't pickle).
+        self.probes: Dict[str, Callable] = {}
+
+    def add_probe(self, name: str, fn: Callable) -> None:
+        """Register (or replace) a per-round sampler."""
+        self.probes[name] = fn
+
+    def span(self, name: str):
+        """Time a block into this run's span log."""
+        return self.spans.span(name)
+
+    # -- sequential-engine hooks ---------------------------------------
+
+    def on_round(self, sim) -> None:
+        """Commit hook: sample every ``probe_every`` committed rounds."""
+        if sim.metrics.rounds % self.probe_every:
+            return
+        self.sample(sim)
+
+    def sample(self, sim, force: bool = False) -> None:
+        """Take one sample of the engine state plus all registered probes."""
+        metrics = sim.metrics
+        row = {
+            "round": metrics.rounds,
+            "alive": int(sim.net.alive.sum()),
+            "messages": metrics.messages,
+            "bits": metrics.bits,
+        }
+        for name, fn in self.probes.items():
+            row[name] = _py(fn(sim))
+        if force:
+            self.series.force(**row)
+        else:
+            self.series.append(**row)
+
+
+def _phases_dict(metrics) -> Dict[str, Dict[str, Any]]:
+    """Serialise ``Metrics.phases`` for the run record."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for name, st in metrics.phases.items():
+        out[name] = {
+            "rounds": int(st.rounds),
+            "messages": int(st.messages),
+            "bits": int(st.bits),
+            "max_fanin": int(st.max_fanin),
+            "wall_ms": round(float(st.wall_ms), 3),
+        }
+    return out
+
+
+class Telemetry:
+    """The whole-invocation collector (see module docs)."""
+
+    def __init__(
+        self,
+        *,
+        probe_every: int = 1,
+        series_cap: int = 2048,
+        collect_events: bool = True,
+    ) -> None:
+        if probe_every < 1:
+            raise ValueError(f"probe_every must be >= 1, got {probe_every}")
+        self.probe_every = int(probe_every)
+        self.series_cap = int(series_cap)
+        self.collect_events = bool(collect_events)
+        self.runs: List[RunTelemetry] = []
+        self._next_id = 0
+
+    @classmethod
+    def from_config(cls, config: TelemetryConfig) -> "Telemetry":
+        return cls(
+            probe_every=config.probe_every,
+            series_cap=config.series_cap,
+            collect_events=config.collect_events,
+        )
+
+    def config(self) -> TelemetryConfig:
+        return TelemetryConfig(
+            probe_every=self.probe_every,
+            series_cap=self.series_cap,
+            collect_events=self.collect_events,
+        )
+
+    def spawn(self) -> "Telemetry":
+        """A fresh, empty collector with the same knobs (shard-local)."""
+        return Telemetry.from_config(self.config())
+
+    # -- run lifecycle -------------------------------------------------
+
+    def begin_run(self, config: Dict[str, Any]) -> RunTelemetry:
+        """Open a run handle; engines wire it up and feed it."""
+        run = RunTelemetry(self._next_id, config, self.probe_every, self.series_cap)
+        self._next_id += 1
+        self.runs.append(run)
+        return run
+
+    def finish_run(self, run: RunTelemetry, *, sim=None, report=None, outcome=None):
+        """Seal a run: force the final sample, snapshot phases/summary,
+        capture trace events, and drop the probe closures."""
+        if sim is not None:
+            run.sample(sim, force=True)
+            run.phases = _phases_dict(sim.metrics)
+            run.summary.setdefault(
+                "wall_ms_total", round(float(sim.metrics.total.wall_ms), 3)
+            )
+        if report is not None:
+            run.summary.update(
+                rounds=int(report.rounds),
+                spread_rounds=int(report.spread_rounds),
+                messages=int(report.messages),
+                bits=int(report.bits),
+                max_fanin=int(report.max_fanin),
+                informed_fraction=float(report.informed_fraction),
+                success=bool(report.success),
+            )
+            trace = report.trace
+            if (
+                self.collect_events
+                and trace is not None
+                and getattr(trace, "enabled", False)
+            ):
+                run.events = [
+                    {
+                        "round": int(e.round),
+                        "kind": e.kind,
+                        "data": {k: _py(v) for k, v in e.data.items()},
+                    }
+                    for e in trace.events
+                ]
+        if outcome is not None:
+            reps = int(outcome.reps)
+            run.summary.update(
+                reps=reps,
+                rounds_mean=float(outcome.rounds.mean()),
+                messages_total=int(outcome.messages.sum()),
+                bits_total=int(outcome.bits.sum()),
+                max_fanin=int(outcome.max_fanin.max()),
+                success_rate=float(outcome.success.mean()),
+            )
+        run.probes = {}
+        return run
+
+    # -- aggregation ---------------------------------------------------
+
+    def merge(self, other: "Telemetry") -> None:
+        """Absorb another collector's runs (renumbered in arrival order).
+
+        ``run_replications`` merges shard collectors in shard order, so
+        the merged run ids are worker-count independent.
+        """
+        for run in other.runs:
+            run.run_id = self._next_id
+            self._next_id += 1
+            self.runs.append(run)
+
+    # -- export --------------------------------------------------------
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """Flatten into JSONL records (the documented schema)."""
+        yield {
+            "type": "meta",
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "generator": "repro-gossip",
+            "probe_every": self.probe_every,
+            "series_cap": self.series_cap,
+            "runs": len(self.runs),
+        }
+        for run in self.runs:
+            yield {
+                "type": "run",
+                "id": run.run_id,
+                "config": run.config,
+                "summary": run.summary,
+                "phases": run.phases,
+            }
+            for rec in run.spans.records:
+                yield {
+                    "type": "span",
+                    "run": run.run_id,
+                    "name": rec.name,
+                    "start_ms": round(rec.start_ms, 3),
+                    "wall_ms": round(rec.wall_ms, 3),
+                    "depth": rec.depth,
+                }
+            if len(run.series):
+                yield {
+                    "type": "series",
+                    "run": run.run_id,
+                    "probe_every": run.probe_every,
+                    "decimated": run.series.decimated,
+                    "stride": run.series.stride,
+                    "columns": run.series.to_columns(),
+                }
+            for event in run.events:
+                yield {"type": "event", "run": run.run_id, **event}
+
+    def write(self, path: str) -> int:
+        """Export as JSONL; returns the record count."""
+        from repro.obs.sink import TelemetrySink
+
+        return TelemetrySink(path).write(self)

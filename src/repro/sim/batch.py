@@ -206,6 +206,7 @@ def batched_push_sum(
     value_bits: int = PUSH_SUM_VALUE_BITS,
     restore_mass: bool = False,
     max_rounds: "int | None" = None,
+    telemetry=None,
 ) -> BatchOutcome:
     """Kempe-style push-sum averaging, ``reps`` replications at once.
 
@@ -222,6 +223,11 @@ def batched_push_sum(
     target's fan-in.  ``message_bits`` and ``source`` are accepted for
     the uniform batch-runner signature but unused — push-sum has no rumor
     and no distinguished source.
+
+    ``telemetry`` (a :class:`repro.obs.telemetry.RunTelemetry` handle, or
+    ``None``) samples the batch every ``probe_every`` steps: mean task
+    error, still-active replication count, and cumulative messages/bits,
+    plus a forced final sample.
     """
     # message_bits/source are part of the uniform batch-runner signature
     # but push-sum has no rumor and no distinguished source; restore_mass
@@ -275,6 +281,24 @@ def batched_push_sum(
         completion[newly_done] = step + 1
         active[newly_done] = False
 
+        if telemetry is not None and (step + 1) % telemetry.probe_every == 0:
+            telemetry.series.append(
+                round=step + 1,
+                task_error=float(err.mean()),
+                active_reps=int(active.sum()),
+                messages=int(messages.sum()),
+                bits=int(bits.sum()),
+            )
+
+    if telemetry is not None:
+        telemetry.series.force(
+            round=int(rounds.max()),
+            task_error=float(err.mean()),
+            active_reps=int(active.sum()),
+            messages=int(messages.sum()),
+            bits=int(bits.sum()),
+        )
+
     within = (np.abs(v / w - mu[:, None]) / scale[:, None]) <= tol
     return BatchOutcome(
         algorithm="push-pull",
@@ -291,6 +315,11 @@ def batched_push_sum(
         # mass, so the repaired target is exactly the initial mean.
         task_error_repaired=err.copy(),
     )
+
+
+#: run_replications hands telemetry-capable runners the chunk's
+#: RunTelemetry handle for per-step series sampling.
+batched_push_sum.supports_telemetry = True
 
 
 # ----------------------------------------------------------------------

@@ -59,6 +59,7 @@ from repro.core.constants import (
     Profile,
     get_profile,
 )
+from repro.obs.spans import maybe_span
 from repro.sim.batch import BatchOutcome, per_rep_max_fanin, resolve_sources
 from repro.sim.delivery import NOTHING
 from repro.sim.messages import MessageSizes
@@ -172,6 +173,7 @@ class ClusterBatch:
         *,
         message_bits: int = 256,
         graph: Optional[ContactGraph] = None,
+        telemetry=None,
     ) -> None:
         if reps < 1:
             raise ValueError(f"reps must be positive, got {reps}")
@@ -179,6 +181,12 @@ class ClusterBatch:
         self.reps = int(reps)
         self.rng = rng
         self.graph = graph
+        #: Optional :class:`repro.obs.telemetry.RunTelemetry` chunk
+        #: handle; when set, every committed round offers a batch sample
+        #: (``None`` keeps the accounting paths probe-free).
+        self.telemetry = telemetry
+        self._probe_calls = 0
+        self._clusters_cache: "Optional[Tuple[int, float]]" = None
         self.sizes = MessageSizes(self.n, rumor_bits=message_bits)
         self.follow = np.full((reps, n), UNCLUSTERED, dtype=np.int64)
         self.active = np.zeros((reps, n), dtype=bool)
@@ -242,6 +250,8 @@ class ClusterBatch:
             fan = self._fanin(len(act), arrived)
         if fan is not None:
             self.max_fanin[act] = np.maximum(self.max_fanin[act], fan)
+        if self.telemetry is not None:
+            self._probe()
 
     def _member_round(self, act, sender_rows, bits_per, arrived, fan=None) -> None:
         """One follower↔leader round where every contact in
@@ -253,6 +263,41 @@ class ClusterBatch:
     def idle_round(self, act) -> None:
         """A round in which the given replications do nothing (counted)."""
         self.rounds[act] += 1
+        if self.telemetry is not None:
+            self._probe()
+
+    def _probe(self) -> None:
+        """Offer a batch sample every ``probe_every`` committed rounds."""
+        self._probe_calls += 1
+        if self._probe_calls % self.telemetry.probe_every:
+            return
+        self._sample()
+
+    def _cluster_count(self) -> float:
+        """Mean live cluster (leader) count, cached on the follow
+        version: a dense probe re-samples every committed round, but
+        most rounds (size/dissolve/push/pull) never rewrite ``follow``,
+        so the O(R*n) root scan only reruns after an actual mutation."""
+        cached = self._clusters_cache
+        if cached is not None and cached[0] == self._follow_ver:
+            return cached[1]
+        value = float(np.count_nonzero(self.follow == self._cols) / self.reps)
+        self._clusters_cache = (self._follow_ver, value)
+        return value
+
+    def _sample(self, force: bool = False) -> None:
+        """One batch-aggregate sample: slowest replication's round, mean
+        live cluster (leader) count, cumulative messages/bits."""
+        row = {
+            "round": int(self.rounds.max()),
+            "clusters": self._cluster_count(),
+            "messages": int(self.messages.sum()),
+            "bits": int(self.bits.sum()),
+        }
+        if force:
+            self.telemetry.series.force(**row)
+        else:
+            self.telemetry.series.append(**row)
 
     # ------------------------------------------------------------------
     # Member view and sparse receiver digests
@@ -921,6 +966,18 @@ def _pull(state: ClusterBatch, rounds: int) -> None:
 
 def _outcome(name: str, state: ClusterBatch, informed: np.ndarray) -> BatchOutcome:
     counts = informed.sum(axis=1)
+    if state.telemetry is not None:
+        # Forced final sample (with the informed fraction, now known), so
+        # the series' last cumulative counters equal the outcome exactly.
+        state.telemetry.series.force(
+            round=int(state.rounds.max()),
+            clusters=float(
+                (state.follow == state._cols[None, :]).sum() / state.reps
+            ),
+            informed=float(counts.sum() / (state.reps * state.n)),
+            messages=int(state.messages.sum()),
+            bits=int(state.bits.sum()),
+        )
     return BatchOutcome(
         algorithm=name,
         n=state.n,
@@ -960,25 +1017,33 @@ def batched_cluster1(
     params: Optional[Cluster1Params] = None,
     profile: "Profile | str" = LAPTOP,
     graph: Optional[ContactGraph] = None,
+    telemetry=None,
 ) -> BatchOutcome:
     """Cluster1 (Algorithm 1), ``reps`` replications at once."""
     if isinstance(profile, str):
         profile = get_profile(profile)
     p = params if params is not None else profile.cluster1(n)
-    state = ClusterBatch(n, reps, rng, message_bits=message_bits, graph=graph)
-    sources = resolve_sources(source, reps, n, rng)
-    _grow_v1(state, p)
-    _square(
-        state,
-        s0=p.min_cluster_size,
-        dissolve_at=p.min_cluster_size,
-        target=p.square_target,
-        step=p.square_step,
-        reduce="min",
+    state = ClusterBatch(
+        n, reps, rng, message_bits=message_bits, graph=graph, telemetry=telemetry
     )
-    _merge_all(state, p.merge_reps)
-    _pull(state, p.pull_rounds)
-    informed = _share_from_sources(state, sources)
+    sources = resolve_sources(source, reps, n, rng)
+    with maybe_span(telemetry, "grow"):
+        _grow_v1(state, p)
+    with maybe_span(telemetry, "square"):
+        _square(
+            state,
+            s0=p.min_cluster_size,
+            dissolve_at=p.min_cluster_size,
+            target=p.square_target,
+            step=p.square_step,
+            reduce="min",
+        )
+    with maybe_span(telemetry, "merge"):
+        _merge_all(state, p.merge_reps)
+    with maybe_span(telemetry, "pull"):
+        _pull(state, p.pull_rounds)
+    with maybe_span(telemetry, "share"):
+        informed = _share_from_sources(state, sources)
     return _outcome("cluster1", state, informed)
 
 
@@ -992,31 +1057,40 @@ def batched_cluster2(
     params: Optional[Cluster2Params] = None,
     profile: "Profile | str" = LAPTOP,
     graph: Optional[ContactGraph] = None,
+    telemetry=None,
 ) -> BatchOutcome:
     """Cluster2 (Algorithm 2, the paper's Theorem 2 algorithm), ``reps``
     replications at once."""
     if isinstance(profile, str):
         profile = get_profile(profile)
     p = params if params is not None else profile.cluster2(n)
-    state = ClusterBatch(n, reps, rng, message_bits=message_bits, graph=graph)
+    state = ClusterBatch(
+        n, reps, rng, message_bits=message_bits, graph=graph, telemetry=telemetry
+    )
     sources = resolve_sources(source, reps, n, rng)
-    _grow_v2(state, p)
-    _square(
-        state,
-        s0=p.square_floor,
-        dissolve_at=max(2, p.square_floor // 2),
-        target=p.square_target,
-        step=p.square_step,
-        reduce="any",
-    )
-    _merge_all(state, p.merge_reps)
-    _bounded_push(
-        state,
-        growth_stop=p.bounded_push_growth_stop,
-        rounds_cap=p.bounded_push_rounds_cap,
-    )
-    _pull(state, p.pull_rounds)
-    informed = _share_from_sources(state, sources)
+    with maybe_span(telemetry, "grow"):
+        _grow_v2(state, p)
+    with maybe_span(telemetry, "square"):
+        _square(
+            state,
+            s0=p.square_floor,
+            dissolve_at=max(2, p.square_floor // 2),
+            target=p.square_target,
+            step=p.square_step,
+            reduce="any",
+        )
+    with maybe_span(telemetry, "merge"):
+        _merge_all(state, p.merge_reps)
+    with maybe_span(telemetry, "bounded-push"):
+        _bounded_push(
+            state,
+            growth_stop=p.bounded_push_growth_stop,
+            rounds_cap=p.bounded_push_rounds_cap,
+        )
+    with maybe_span(telemetry, "pull"):
+        _pull(state, p.pull_rounds)
+    with maybe_span(telemetry, "share"):
+        informed = _share_from_sources(state, sources)
     return _outcome("cluster2", state, informed)
 
 
@@ -1025,5 +1099,7 @@ def batched_cluster2(
 #: bound contact graph (restricted-topology vector runs).
 batched_cluster1.uses_profile = True
 batched_cluster1.supports_topology = True
+batched_cluster1.supports_telemetry = True
 batched_cluster2.uses_profile = True
 batched_cluster2.supports_topology = True
+batched_cluster2.supports_telemetry = True

@@ -488,6 +488,12 @@ class Simulator:
         #: dynamics timeline advances).  Empty on the plain broadcast
         #: path — task transports register observers here.
         self.commit_hooks: List = []
+        #: Telemetry run handle (:class:`repro.obs.telemetry.RunTelemetry`)
+        #: when observability is attached, else ``None``.  Algorithms use
+        #: it only to register probes — sampling itself rides the
+        #: ``commit_hooks`` mechanism, so the commit path is unchanged
+        #: whether telemetry is on or off.
+        self.telemetry = None
         if dynamics is not None:
             dynamics.begin_round(self.metrics.rounds)
 

@@ -40,6 +40,11 @@ class PhaseStats:
     pull_requests: int = 0
     max_fanin: int = 0
     max_initiations: int = 0
+    #: Wall-clock spent inside this phase's :meth:`Metrics.phase` blocks,
+    #: in milliseconds.  Stays 0.0 unless a telemetry span recorder is
+    #: attached (``Metrics.span_recorder``) — simulated-round complexity
+    #: never depends on it.
+    wall_ms: float = 0.0
 
     def merge(self, other: "PhaseStats") -> None:
         """Accumulate ``other`` into ``self`` (totals and maxima)."""
@@ -51,6 +56,7 @@ class PhaseStats:
         self.pull_requests += other.pull_requests
         self.max_fanin = max(self.max_fanin, other.max_fanin)
         self.max_initiations = max(self.max_initiations, other.max_initiations)
+        self.wall_ms += other.wall_ms
 
 
 @dataclass
@@ -76,6 +82,10 @@ class Metrics:
     #: broadcast path).  The error semantics are the task's — max relative
     #: error for push-sum, missing-content fraction for dissemination.
     error_series: List["tuple[int, float]"] = field(default_factory=list)
+    #: When telemetry is attached, a :class:`repro.obs.spans.SpanRecorder`
+    #: that :meth:`phase` times its blocks into (filling ``wall_ms``).
+    #: ``None`` (the default) keeps :meth:`phase` free of any clock calls.
+    span_recorder: Optional[object] = None
     _phase_stack: List[str] = field(default_factory=list)
 
     UNPHASED = "(unphased)"
@@ -94,9 +104,15 @@ class Metrics:
             )
         stats = self.phases.setdefault(name, PhaseStats())
         self._phase_stack.append(name)
+        recorder = self.span_recorder
+        token = recorder.begin(f"phase:{name}") if recorder is not None else None
         try:
             yield stats
         finally:
+            if token is not None:
+                elapsed = recorder.end(token)
+                stats.wall_ms += elapsed
+                self.total.wall_ms += elapsed
             self._phase_stack.pop()
 
     def current_phase(self) -> PhaseStats:
@@ -168,22 +184,32 @@ class Metrics:
         return self.bits / self.n
 
     def phase_report(self) -> str:
-        """Human-readable per-phase table (used by examples and the CLI)."""
+        """Human-readable per-phase table (used by examples and the CLI).
+
+        The ``wall ms`` column shows an em-dash when no span recorder
+        timed the phase (telemetry off).
+        """
+
+        def wall(st: PhaseStats) -> str:
+            return f"{st.wall_ms:>10.1f}" if st.wall_ms else f"{'—':>10}"
+
         header = (
             f"{'phase':<22}{'rounds':>7}{'msgs':>10}{'msgs/node':>11}"
-            f"{'bits':>13}{'maxΔ':>7}"
+            f"{'bits':>13}{'maxΔ':>7}{'wall ms':>10}"
         )
         lines = [header, "-" * len(header)]
         for name, st in self.phases.items():
             lines.append(
                 f"{name:<22}{st.rounds:>7}{st.messages:>10}"
                 f"{st.messages / self.n:>11.3f}{st.bits:>13}{st.max_fanin:>7}"
+                f"{wall(st)}"
             )
         st = self.total
         lines.append("-" * len(header))
         lines.append(
             f"{'TOTAL':<22}{st.rounds:>7}{st.messages:>10}"
             f"{st.messages / self.n:>11.3f}{st.bits:>13}{st.max_fanin:>7}"
+            f"{wall(st)}"
         )
         return "\n".join(lines)
 
@@ -193,9 +219,14 @@ def merge_metrics(metrics: Metrics, other: Metrics, prefix: Optional[str] = None
 
     Used when an algorithm composes sub-algorithms that were run with their
     own Metrics (e.g. Cluster3 followed by ClusterPUSH-PULL).  ``prefix``
-    namespaces the imported phase names.
+    namespaces the imported phase names.  ``other``'s task error series is
+    appended with its rounds shifted past ``metrics``' existing rounds, so
+    the merged trajectory stays monotone in round number.
     """
+    round_offset = metrics.total.rounds
     metrics.total.merge(other.total)
     for name, stats in other.phases.items():
         key = f"{prefix}:{name}" if prefix else name
         metrics.phases.setdefault(key, PhaseStats()).merge(stats)
+    for round_no, error in other.error_series:
+        metrics.error_series.append((round_offset + round_no, error))

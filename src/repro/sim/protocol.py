@@ -82,6 +82,11 @@ def run_protocol(
     if max_rounds < 0:
         raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
     trace = trace if trace is not None else null_trace()
+    if sim.telemetry is not None:
+        # Sampled by the telemetry commit hook every probe_every rounds.
+        sim.telemetry.add_probe(
+            "informed", lambda s, p=protocol: round(p.progress(), 6)
+        )
     steps = 0
     completion: Optional[int] = None
     if protocol.done():

@@ -64,9 +64,33 @@ class Trace:
         return "\n".join(str(e) for e in self.events)
 
 
-_NULL = Trace(enabled=False)
+class _NullTrace(Trace):
+    """The immutable shared disabled trace.
+
+    Every caller that doesn't ask for tracing shares this one instance,
+    so it must be impossible to corrupt: ``emit`` is an unconditional
+    no-op (even if ``enabled`` were somehow flipped) and attribute
+    assignment raises once construction finishes.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False, events=[])
+        object.__setattr__(self, "_sealed", True)
+
+    def emit(self, round_no: int, kind: str, **data: Any) -> None:
+        """Never records anything."""
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if getattr(self, "_sealed", False):
+            raise AttributeError(
+                "the shared null trace is immutable; build a Trace() to record"
+            )
+        super().__setattr__(name, value)
+
+
+_NULL = _NullTrace()
 
 
 def null_trace() -> Trace:
-    """The shared disabled trace instance."""
+    """The shared disabled trace instance (immutable singleton)."""
     return _NULL

@@ -85,6 +85,10 @@ def _task_observer(sim: Simulator, state: TaskState):
             holder["round"] = s.metrics.rounds
 
     sim.add_commit_hook(observe)
+    if sim.telemetry is not None:
+        sim.telemetry.add_probe(
+            "task_error", lambda s: float(state.error(s.net.alive))
+        )
     return lambda: holder["round"]
 
 
@@ -207,6 +211,8 @@ def run_cluster_task(
     completion = _task_observer(sim, state)
 
     cl = Clustering(sim.net)
+    if sim.telemetry is not None:
+        sim.telemetry.add_probe("clusters", lambda s, cl=cl: float(cl.cluster_count()))
     build(sim, cl, trace)
 
     # -- gather: followers hand their content straight to their leader.

@@ -104,3 +104,62 @@ class TestMerge:
         merge_metrics(a, b, prefix="sub")
         assert a.total.pushes == 5
         assert a.phases["sub:x"].pushes == 5
+
+    def test_merge_metrics_carries_error_series_with_round_offsets(self):
+        # Regression: merge_metrics used to drop other's error_series
+        # entirely, losing the task error trajectory of a composed
+        # sub-algorithm.
+        a, b = Metrics(10), Metrics(10)
+        record(a)
+        record(a)
+        a.record_error(0.5)
+        record(b)
+        b.record_error(0.25)
+        merge_metrics(a, b)
+        assert a.error_series == [(2, 0.5), (2 + 1, 0.25)]
+
+    def test_merge_metrics_empty_error_series_unchanged(self):
+        a, b = Metrics(10), Metrics(10)
+        record(a)
+        a.record_error(0.1)
+        merge_metrics(a, b)
+        assert a.error_series == [(1, 0.1)]
+
+    def test_phase_stats_merge_accumulates_wall_ms(self):
+        a = PhaseStats(wall_ms=1.5)
+        a.merge(PhaseStats(wall_ms=2.5))
+        assert a.wall_ms == 4.0
+
+
+class TestWallClock:
+    def test_phase_times_into_span_recorder(self):
+        from repro.obs.spans import SpanRecorder
+
+        m = Metrics(10)
+        m.span_recorder = SpanRecorder()
+        with m.phase("grow"):
+            record(m)
+        assert m.phases["grow"].wall_ms > 0
+        assert m.total.wall_ms == m.phases["grow"].wall_ms
+        assert [r.name for r in m.span_recorder.records] == ["phase:grow"]
+
+    def test_no_recorder_no_wall_clock(self):
+        m = Metrics(10)
+        with m.phase("grow"):
+            record(m)
+        assert m.phases["grow"].wall_ms == 0.0
+
+    def test_phase_report_wall_column(self):
+        from repro.obs.spans import SpanRecorder
+
+        m = Metrics(10)
+        record(m)
+        # Without timings, the wall ms column shows an em-dash.
+        assert "wall ms" in m.phase_report()
+        assert "—" in m.phase_report()
+        m.span_recorder = SpanRecorder()
+        with m.phase("grow"):
+            record(m)
+        report = m.phase_report()
+        grow_line = next(line for line in report.splitlines() if "grow" in line)
+        assert "—" not in grow_line

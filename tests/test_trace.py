@@ -1,5 +1,7 @@
 """Unit tests for execution tracing."""
 
+import pytest
+
 from repro.sim.trace import Trace, TraceEvent, null_trace
 
 
@@ -45,3 +47,31 @@ class TestNullTrace:
 
     def test_shared_instance(self):
         assert null_trace() is null_trace()
+
+    def test_immutable_attributes(self):
+        # The null trace is shared process-wide: one caller flipping
+        # `enabled` (or swapping `events`) would corrupt every other
+        # user.  Assignment must raise.
+        t = null_trace()
+        with pytest.raises(AttributeError):
+            t.enabled = True
+        with pytest.raises(AttributeError):
+            t.events = []
+        assert t.enabled is False
+
+    def test_emit_noop_even_if_enabled_forced(self):
+        # Belt and braces: even via object.__setattr__, emit stays a
+        # no-op on the null trace.
+        t = null_trace()
+        object.__setattr__(t, "enabled", True)
+        try:
+            t.emit(1, "x", v=1)
+            assert len(t) == 0
+        finally:
+            object.__setattr__(t, "enabled", False)
+
+    def test_plain_traces_stay_mutable(self):
+        t = Trace()
+        t.enabled = False
+        t.emit(1, "x")
+        assert len(t) == 0
