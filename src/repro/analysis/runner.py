@@ -22,6 +22,7 @@ from repro.core.broadcast import broadcast, run_replications
 from repro.core.result import AlgorithmReport
 from repro.obs.telemetry import Telemetry, TelemetryConfig
 from repro.sim.dynamics import AdversitySchedule
+from repro.sim.schedule import EventSchedulerSpec
 from repro.sim.topology import Topology
 
 
@@ -59,6 +60,10 @@ class RunSpec:
     #: spec or a registered name); None is the paper's complete graph.
     topology: "Topology | str | None" = None
     direct_addressing: str = "global"
+    #: Execution tier: None/"round" is the synchronous round engine,
+    #: "event" (or a frozen :class:`~repro.sim.schedule.EventSchedulerSpec`)
+    #: overlays the event-queue clock on the same logical execution.
+    scheduler: "EventSchedulerSpec | str | None" = None
     reps: int = 1
     engine: str = "auto"
     #: Optional frozen telemetry knobs: the job builds a collector inside
@@ -88,6 +93,7 @@ class RunSpec:
             task_kwargs=dict(self.task_kwargs),
             topology=self.topology,
             direct_addressing=self.direct_addressing,
+            scheduler=self.scheduler,
             telemetry=collector,
             check_model=self.check_model,
             **self.kwargs,
@@ -118,6 +124,7 @@ class RunSpec:
             task_kwargs=dict(self.task_kwargs),
             topology=self.topology,
             direct_addressing=self.direct_addressing,
+            scheduler=self.scheduler,
             telemetry=collector,
             check_model=self.check_model,
             **self.kwargs,
@@ -138,7 +145,14 @@ class RunSpec:
             )
             if name != "complete":
                 where = f" @{name}"
-        return f"{self.algorithm}{middle}{where} n={self.n}{tail}"
+        tier = ""
+        if self.scheduler is not None and self.scheduler != "round":
+            tier = (
+                " [event]"
+                if isinstance(self.scheduler, str)
+                else f" [{self.scheduler.describe()}]"
+            )
+        return f"{self.algorithm}{middle}{where}{tier} n={self.n}{tail}"
 
 
 @dataclass(frozen=True)
@@ -213,6 +227,7 @@ def run_once(
     schedule: Optional[AdversitySchedule] = None,
     topology: "Topology | str | None" = None,
     direct_addressing: str = "global",
+    scheduler: "EventSchedulerSpec | str | None" = None,
     check_model: bool = True,
     **kwargs: Any,
 ) -> RunRecord:
@@ -229,6 +244,7 @@ def run_once(
             schedule=schedule,
             topology=topology,
             direct_addressing=direct_addressing,
+            scheduler=scheduler,
             check_model=check_model,
             kwargs=kwargs,
         )
@@ -247,6 +263,7 @@ def expand_grid(
     schedule: Optional[AdversitySchedule] = None,
     topology: "Topology | str | None" = None,
     direct_addressing: str = "global",
+    scheduler: "EventSchedulerSpec | str | None" = None,
     check_model: bool = True,
     **kwargs: Any,
 ) -> List[RunSpec]:
@@ -264,6 +281,7 @@ def expand_grid(
             schedule=schedule,
             topology=topology,
             direct_addressing=direct_addressing,
+            scheduler=scheduler,
             check_model=check_model,
             kwargs=dict(kwargs),
         )
@@ -329,6 +347,7 @@ def sweep(
     schedule: Optional[AdversitySchedule] = None,
     topology: "Topology | str | None" = None,
     direct_addressing: str = "global",
+    scheduler: "EventSchedulerSpec | str | None" = None,
     check_model: bool = True,
     workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
@@ -345,6 +364,7 @@ def sweep(
         schedule=schedule,
         topology=topology,
         direct_addressing=direct_addressing,
+        scheduler=scheduler,
         check_model=check_model,
         **kwargs,
     )
@@ -363,6 +383,7 @@ def replication_sweep(
     schedule: Optional[AdversitySchedule] = None,
     topology: "Topology | str | None" = None,
     direct_addressing: str = "global",
+    scheduler: "EventSchedulerSpec | str | None" = None,
     check_model: bool = True,
     workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
@@ -381,6 +402,7 @@ def replication_sweep(
             schedule=schedule,
             topology=topology,
             direct_addressing=direct_addressing,
+            scheduler=scheduler,
             check_model=check_model,
             reps=reps,
             engine=engine,

@@ -232,6 +232,7 @@ class ReplicationSummary:
         success: bool,
         task_error: Optional[float] = None,
         task_error_repaired: Optional[float] = None,
+        sim_time: Optional[float] = None,
     ) -> None:
         """Fold one replication's headline figures into the stream.
 
@@ -242,7 +243,9 @@ class ReplicationSummary:
         the error against the surviving-mass target rather than the
         initial mean) opens a second lazy stream the same way, so
         summaries always report the biased and repaired estimates side
-        by side.
+        by side.  ``sim_time`` (event-tier replications only — the
+        simulated completion time) opens a third lazy stream with the
+        same round-tier-stays-identical property.
         """
         self.reps += 1
         self.successes += bool(success)
@@ -259,6 +262,9 @@ class ReplicationSummary:
         if task_error_repaired is not None:
             values["task_error_repaired"] = task_error_repaired
             self.metrics.setdefault("task_error_repaired", StreamingSummary())
+        if sim_time is not None:
+            values["sim_time"] = sim_time
+            self.metrics.setdefault("sim_time", StreamingSummary())
         for name, value in values.items():
             self.metrics[name].push(value)
 
@@ -312,6 +318,10 @@ class ReplicationSummary:
         if repaired is not None:
             row["task_error_repaired_mean"] = repaired.mean
             row["task_error_repaired_max"] = repaired.maximum
+        sim_time = self.metrics.get("sim_time")
+        if sim_time is not None:
+            row["sim_time_mean"] = round(sim_time.mean, 3)
+            row["sim_time_max"] = round(sim_time.maximum, 3)
         return row
 
     def __str__(self) -> str:

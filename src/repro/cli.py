@@ -7,7 +7,10 @@ Commands:
   ``--task``/``--task-arg`` select the workload semantics (k-rumor
   all-cast, push-sum averaging, ...); ``--topology``/``--topology-arg``
   pick the contact graph and ``--addressing`` the direct-addressing
-  mode; ``--reps N`` streams N seeded replications through the scale
+  mode; ``--scheduler event``/``--delay SPEC`` switch to the
+  event-queue execution tier (same logical rounds, a simulated clock
+  over per-contact latencies); ``--reps N`` streams N seeded
+  replications through the scale
   tier (``--stream`` prints each as it passes, ``--engine`` picks the
   executor);
 * ``sweep`` — an algorithm x n x seed grid, rendered as a table
@@ -70,6 +73,11 @@ from repro.sim.dynamics import (
     MessageLoss,
     resolve_schedule,
     schedule_names,
+)
+from repro.sim.schedule import (
+    SCHEDULER_NAMES,
+    EventSchedulerSpec,
+    parse_delay,
 )
 from repro.workloads.scenarios import (
     SCENARIOS,
@@ -192,6 +200,37 @@ def _add_dynamics_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_scheduler_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scheduler",
+        default=None,
+        choices=list(SCHEDULER_NAMES),
+        help="execution tier: 'round' (the paper's synchronous engine, "
+        "default) or 'event' (the event-queue scheduler: same logical "
+        "rounds, per-contact latencies, a simulated clock)",
+    )
+    parser.add_argument(
+        "--delay",
+        default=None,
+        metavar="SPEC",
+        help="latency model for the event tier (implies --scheduler event): "
+        "NAME[:ARGS], e.g. 'constant:2', 'jitter:0.5,1.5', "
+        "'straggler:fraction=0.02,factor=10', 'wan', 'rate-limited'",
+    )
+
+
+def _scheduler_from_args(args: argparse.Namespace) -> "EventSchedulerSpec | str | None":
+    """Compose ``--scheduler`` / ``--delay`` into one scheduler spec
+    (``--delay`` implies the event tier)."""
+    name = getattr(args, "scheduler", None)
+    delay = getattr(args, "delay", None)
+    if delay is not None:
+        if name == "round":
+            raise ValueError("--delay needs the event tier, not --scheduler round")
+        return EventSchedulerSpec(delay=parse_delay(delay))
+    return name
+
+
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry",
@@ -278,6 +317,7 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
         task_kwargs=_task_kwargs_from_args(args),
         topology=_topology_from_args(args),
         direct_addressing=args.direct_addressing,
+        scheduler=_scheduler_from_args(args),
         consume=consume,
         workers=args.workers,
         telemetry=collector,
@@ -321,6 +361,7 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
         task_kwargs=_task_kwargs_from_args(args),
         topology=_topology_from_args(args),
         direct_addressing=args.direct_addressing,
+        scheduler=_scheduler_from_args(args),
         telemetry=collector,
     )
     print(report)
@@ -338,6 +379,12 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
         print(
             f"topology: {report.extras['topology']} "
             f"(direct addressing: {report.extras['direct_addressing']})"
+        )
+    if "scheduler" in report.extras:
+        print()
+        print(
+            f"scheduler: {report.extras['scheduler']} "
+            f"(simulated completion time: {report.extras['sim_time']:.2f})"
         )
     if "schedule" in report.extras:
         print()
@@ -389,6 +436,7 @@ def _sweep_with_telemetry(args: argparse.Namespace):
             schedule=_schedule_from_args(args),
             topology=_topology_from_args(args),
             direct_addressing=args.direct_addressing,
+            scheduler=_scheduler_from_args(args),
         )
     ]
     reports = sweep_reports(specs, workers=args.workers)
@@ -417,6 +465,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 schedule=_schedule_from_args(args),
                 topology=_topology_from_args(args),
                 direct_addressing=args.direct_addressing,
+                scheduler=_scheduler_from_args(args),
                 workers=args.workers,
             )
     except ValueError as exc:
@@ -657,6 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dynamics_flags(p_run)
     _add_topology_flags(p_run)
+    _add_scheduler_flags(p_run)
     _add_telemetry_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
@@ -674,6 +724,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dynamics_flags(p_sweep)
     _add_topology_flags(p_sweep)
+    _add_scheduler_flags(p_sweep)
     _add_telemetry_flags(p_sweep)
     p_sweep.set_defaults(func=_cmd_sweep)
 

@@ -42,6 +42,7 @@ from repro.registry import (
 from repro.obs.spans import maybe_span
 from repro.sim.batch import DEFAULT_BATCH_ELEMS, batch_size
 from repro.sim.dynamics import AdversitySchedule, resolve_schedule
+from repro.sim.schedule import EventSchedulerSpec, resolve_scheduler
 from repro.sim.topology import ADDRESSING_MODES, Topology, resolve_topology
 from repro.sim.engine import BufferPool, Simulator
 from repro.sim.failures import apply_pattern
@@ -113,6 +114,7 @@ def broadcast(
     task_kwargs: Optional[Dict[str, Any]] = None,
     topology: "Topology | str | None" = None,
     direct_addressing: str = "global",
+    scheduler: "EventSchedulerSpec | str | None" = None,
     profile: "Profile | str" = LAPTOP,
     trace: Optional[Trace] = None,
     telemetry: "Optional[Telemetry]" = None,
@@ -172,6 +174,16 @@ def broadcast(
         direct calls only connect along contact-graph edges — the
         experiment that measures what direct addressing is worth once
         the complete graph is gone.
+    scheduler:
+        Execution tier (:mod:`repro.sim.schedule`): ``None`` or
+        ``"round"`` (default) keeps the synchronous round clock on the
+        untouched engine path; ``"event"`` or an
+        :class:`~repro.sim.schedule.EventSchedulerSpec` overlays
+        per-node clocks and contact latencies on the same logical
+        rounds — metrics stay bit-identical, and the report gains
+        ``extras["sim_time"]`` (the simulated completion time).  Delay
+        resolution: explicit spec delay > topology ``delay=``
+        annotation > unit constant.
     profile:
         Constant-resolution profile or its name.
     telemetry:
@@ -214,6 +226,7 @@ def broadcast(
         schedule=resolve_schedule(schedule),
         task=task,
         task_kwargs=task_kwargs,
+        scheduler=resolve_scheduler(scheduler),
         profile=profile,
         trace=trace,
         telemetry=telemetry,
@@ -239,6 +252,7 @@ def _run_on_network(
     algorithm_kwargs: dict,
     task: str = BROADCAST_TASK,
     task_kwargs: Optional[Dict[str, Any]] = None,
+    scheduler: Optional[EventSchedulerSpec] = None,
     telemetry: "Optional[Telemetry]" = None,
 ) -> AlgorithmReport:
     """Execute one seeded broadcast on an already-built network.
@@ -262,6 +276,14 @@ def _run_on_network(
         if schedule is not None
         else None
     )
+    # The event tier binds from the dedicated "delay" stream: straggler
+    # sets, per-edge weights and per-message jitter never consume
+    # algorithm coins, so event runs stay bit-identical to round runs.
+    sched = (
+        scheduler.bind(net, make_rng(derive_seed(seed, "delay")))
+        if scheduler is not None
+        else None
+    )
     sim = Simulator(
         net,
         make_rng(derive_seed(seed, "algo")),
@@ -269,6 +291,7 @@ def _run_on_network(
         check_model=check_model,
         dynamics=dynamics,
         pool=pool,
+        scheduler=sched,
     )
     tel_run = None
     if telemetry is not None:
@@ -315,6 +338,9 @@ def _run_on_network(
     if net.topology_restricted:
         report.extras.setdefault("topology", net.topology.describe())
         report.extras.setdefault("direct_addressing", net.direct_addressing)
+    if sched is not None:
+        report.extras.setdefault("scheduler", sched.describe())
+        report.extras.setdefault("sim_time", float(sched.sim_time))
     if dynamics is not None:
         report.extras.setdefault("schedule", schedule.describe())
         for key, value in dynamics.summary().items():
@@ -354,6 +380,7 @@ class ReplicationEngine:
         task_kwargs: Optional[Dict[str, Any]] = None,
         topology: "Topology | str | None" = None,
         direct_addressing: str = "global",
+        scheduler: "EventSchedulerSpec | str | None" = None,
         profile: "Profile | str" = LAPTOP,
         check_model: bool = True,
         index_dtype: "str | None" = "auto",
@@ -370,6 +397,7 @@ class ReplicationEngine:
         self.failures = failures
         self.failure_pattern = failure_pattern
         self.schedule = resolve_schedule(schedule)
+        self.scheduler = resolve_scheduler(scheduler)
         self.task = task
         self.task_kwargs = dict(task_kwargs or {})
         self.profile = get_profile(profile) if isinstance(profile, str) else profile
@@ -415,6 +443,7 @@ class ReplicationEngine:
             schedule=self.schedule,
             task=self.task,
             task_kwargs=self.task_kwargs,
+            scheduler=self.scheduler,
             profile=self.profile,
             trace=trace,
             telemetry=telemetry,
@@ -444,6 +473,7 @@ def run_replications(
     task_kwargs: Optional[Dict[str, Any]] = None,
     topology: "Topology | str | None" = None,
     direct_addressing: str = "global",
+    scheduler: "EventSchedulerSpec | str | None" = None,
     profile: "Profile | str" = LAPTOP,
     check_model: bool = True,
     consume: Optional[Callable[[dict], None]] = None,
@@ -529,6 +559,7 @@ def run_replications(
         # batch runner directly (never TaskSpec.build), so validate here.
         get_task(task).validate_kwargs(task_kwargs)
     resolved = resolve_schedule(schedule)
+    resolved_scheduler = resolve_scheduler(scheduler)
     batch_runner = spec.batch_runner_for(task)
     # Restricted topologies ride the vector engine when the runner
     # advertises batched neighbor sampling (global direct addressing
@@ -537,18 +568,24 @@ def run_replications(
         getattr(batch_runner, "supports_topology", False)
         and direct_addressing == "global"
     )
+    # The (R, n) executors have no per-node clock overlay and assume at
+    # least one other node to dial; the event tier and single-node runs
+    # fall back to the sequential reset engine.
     vector_ok = (
         batch_runner is not None
         and resolved is None
+        and resolved_scheduler is None
         and not failures
+        and n > 1
         and topology_ok
     )
     if engine == "vector" and not vector_ok:
         raise ValueError(
             f"vector engine unavailable for {algorithm!r} (task {task!r}) "
             "here: it needs a registered batch runner for the task and a "
-            "zero-adversity, zero-failure configuration on the complete "
-            "graph (or a topology-capable runner under global addressing)"
+            "zero-adversity, zero-failure, round-scheduler configuration "
+            "with n >= 2 on the complete graph (or a topology-capable "
+            "runner under global addressing)"
         )
     if engine == "auto":
         engine = "vector" if vector_ok else "reset"
@@ -576,6 +613,7 @@ def run_replications(
             task_kwargs=task_kwargs,
             topology=topology,
             direct_addressing=direct_addressing,
+            scheduler=resolved_scheduler,
             profile=profile,
             check_model=check_model,
             batch_elems=batch_elems,
@@ -668,6 +706,7 @@ def run_replications(
             task_kwargs=task_kwargs,
             topology=resolved_topology,
             direct_addressing=direct_addressing,
+            scheduler=resolved_scheduler,
             profile=profile,
             check_model=check_model,
             **algorithm_kwargs,
@@ -692,6 +731,7 @@ def run_replications(
                 task_kwargs=task_kwargs,
                 topology=resolved_topology,
                 direct_addressing=direct_addressing,
+                scheduler=resolved_scheduler,
                 profile=profile,
                 telemetry=telemetry,
                 check_model=check_model,
@@ -763,6 +803,7 @@ def _run_sharded(
     task_kwargs: Optional[Dict[str, Any]],
     topology: "Topology | str | None",
     direct_addressing: str,
+    scheduler: "EventSchedulerSpec | None",
     profile: "Profile | str",
     check_model: bool,
     batch_elems: int,
@@ -791,6 +832,7 @@ def _run_sharded(
         task_kwargs=task_kwargs,
         topology=topology,
         direct_addressing=direct_addressing,
+        scheduler=scheduler,
         profile=profile,
         check_model=check_model,
         batch_elems=batch_elems,
@@ -845,4 +887,6 @@ def report_scalars(report: AlgorithmReport) -> dict:
         scalars["task_error"] = float(report.extras["task_error"])
     if "task_error_repaired" in report.extras:
         scalars["task_error_repaired"] = float(report.extras["task_error_repaired"])
+    if "sim_time" in report.extras:
+        scalars["sim_time"] = float(report.extras["sim_time"])
     return scalars

@@ -56,7 +56,14 @@ class RoundSeries:
 
     def force(self, **values: Any) -> None:
         """Append bypassing decimation (the final-sample guarantee); a
-        sample for the already-kept last round updates it in place."""
+        sample for the already-kept last round updates it in place.
+
+        Forced rows still honour ``cap``: once the series fills, it
+        re-thins like :meth:`append` does — but keeping the just-forced
+        final row exact, so callers that force once per chunk (e.g. the
+        vector engine's per-chunk flush) stay O(cap) instead of growing
+        one row per force forever.
+        """
         if "round" not in values:
             raise ValueError("a round-series sample needs a 'round' value")
         rounds = self._cols["round"]
@@ -69,6 +76,8 @@ class RoundSeries:
                     self._cols[name][last] = _py(values[name])
             return
         self._push_row(values)
+        if len(self._cols["round"]) >= self.cap:
+            self._halve(keep_last=True)
 
     def _push_row(self, values: Dict[str, Any]) -> None:
         length = len(self._cols["round"])
@@ -78,9 +87,14 @@ class RoundSeries:
         for name, col in self._cols.items():
             col.append(_py(values[name]) if name in values else None)
 
-    def _halve(self) -> None:
+    def _halve(self, keep_last: bool = False) -> None:
         for col in self._cols.values():
-            col[:] = col[::2]
+            if keep_last:
+                tail = col[-1]
+                col[:] = col[:-1][::2]
+                col.append(tail)
+            else:
+                col[:] = col[::2]
         self._stride *= 2
 
     # ------------------------------------------------------------------

@@ -70,6 +70,15 @@ def validate_records(records: List[Dict[str, Any]]) -> List[str]:
     problems: List[str] = []
     if not records:
         return ["empty telemetry file (no records)"]
+    # JSONL lines parse to any JSON value; a bare list/number/string is a
+    # malformed file, not a crash (rec.get would raise AttributeError).
+    non_dicts = [
+        f"record {i}: not an object (got {type(rec).__name__})"
+        for i, rec in enumerate(records)
+        if not isinstance(rec, dict)
+    ]
+    if non_dicts:
+        return non_dicts
     head = records[0]
     if head.get("type") != "meta":
         problems.append(f"first record must be 'meta', got {head.get('type')!r}")

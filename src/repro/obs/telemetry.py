@@ -94,6 +94,11 @@ class RunTelemetry:
             "messages": metrics.messages,
             "bits": metrics.bits,
         }
+        # Event-tier runs also carry the simulated clock; the default
+        # round tier keeps the historical row shape (schema unchanged).
+        scheduler = getattr(sim, "scheduler", None)
+        if scheduler is not None and scheduler.name == "event":
+            row["sim_time"] = float(scheduler.sim_time)
         for name, fn in self.probes.items():
             row[name] = _py(fn(sim))
         if force:

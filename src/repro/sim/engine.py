@@ -42,6 +42,7 @@ import numpy as np
 
 from repro.sim.metrics import Metrics
 from repro.sim.network import Network
+from repro.sim.schedule import RoundScheduler, Scheduler
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.dynamics import DynamicsDriver
@@ -236,7 +237,10 @@ class Round:
         (:meth:`repro.sim.network.Network.connection_mask`).
         """
         net = self._sim.net
-        if self._sim.dynamics is None and not net.topology_restricted:
+        # n > 1 keeps the fast path off single-node networks, where the
+        # "-1" nobody-to-call sentinel would wrap around to alive[0] and
+        # fabricate a delivery; connection_mask handles it correctly.
+        if self._sim.dynamics is None and not net.topology_restricted and net.n > 1:
             return net.alive[dsts]
         return net.connection_mask(srcs, dsts)
 
@@ -420,6 +424,11 @@ class Round:
             max_fanin=max_fanin,
             max_initiations=int(init_counts.max()) if len(all_init) else 0,
         )
+        # The scheduler observes the committed batch before the commit
+        # hooks fire, so telemetry probes sample a sim_time that already
+        # covers this round's contacts.  The default RoundScheduler hook
+        # is a no-op: the round tier's clock *is* the metrics counter.
+        sim.scheduler.on_commit(self)
         # Per-task commit hooks fire on the post-round state but before
         # the dynamics timeline advances: a hook observes the world the
         # round actually produced (e.g. a task records its error series),
@@ -466,6 +475,14 @@ class Simulator:
         ``None`` (default) allocates fresh intermediates every round — the
         zero-pooling path.  A replication suite hands the same pool to
         every execution; pooled and pool-free results are bit-identical.
+    scheduler:
+        Optional bound :class:`~repro.sim.schedule.Scheduler`.  ``None``
+        (default) attaches the stateless
+        :class:`~repro.sim.schedule.RoundScheduler`, whose commit hook is
+        a no-op — simulated time is the round counter, exactly the
+        historical engine.  A bound
+        :class:`~repro.sim.schedule.EventScheduler` overlays per-node
+        clocks and delivery times on the same logical rounds.
     """
 
     def __init__(
@@ -476,6 +493,7 @@ class Simulator:
         check_model: bool = True,
         dynamics: "Optional[DynamicsDriver]" = None,
         pool: Optional[BufferPool] = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
         self.net = net
         self.rng = rng
@@ -483,6 +501,11 @@ class Simulator:
         self.check_model = check_model
         self.dynamics = dynamics
         self.pool = pool
+        #: The execution scheduler (round tier by default; see
+        #: :mod:`repro.sim.schedule`).  Always present, so
+        #: ``sim.scheduler.sim_time`` is uniformly answerable.
+        self.scheduler = scheduler if scheduler is not None else RoundScheduler()
+        self.scheduler.attach(self)
         #: Per-task commit hooks: callables invoked with this simulator
         #: after every round's metrics are charged (and before the
         #: dynamics timeline advances).  Empty on the plain broadcast

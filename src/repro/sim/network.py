@@ -98,8 +98,8 @@ class Network:
         topology: "Topology | str | None" = None,
         direct_addressing: str = "global",
     ) -> None:
-        if n < 2:
-            raise ValueError(f"a network needs at least 2 nodes, got n={n}")
+        if n < 1:
+            raise ValueError(f"a network needs at least 1 node, got n={n}")
         if direct_addressing not in ADDRESSING_MODES:
             raise ValueError(
                 f"direct_addressing must be one of {ADDRESSING_MODES}, "
@@ -326,6 +326,11 @@ class Network:
             raise ValueError(
                 f"exclude has shape {exclude.shape}, expected ({count},)"
             )
+        if self.n == 1:
+            # A dial-out with no other node to call: the void sentinel,
+            # same as an isolated caller on a restricted topology (the
+            # engine charges the contact and delivers it nowhere).
+            return np.full(count, -1, dtype=self.index_dtype)
         targets = rng.integers(0, self.n - 1, size=count, dtype=np.int64)
         targets += targets >= exclude
         return targets.astype(self.index_dtype, copy=False)

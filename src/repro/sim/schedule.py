@@ -1,0 +1,388 @@
+"""Execution schedulers: the round clock, made one tier among several.
+
+The paper counts synchronous rounds; real gossip deployments are
+asynchronous — stragglers, skewed WAN latencies and rate-limited links
+make "how many rounds" and "how long" different questions.  This module
+separates the two behind one ``Scheduler`` protocol:
+
+* :class:`RoundScheduler` — the historical tier.  Simulated time *is*
+  the committed round count; attaching it changes nothing (it is the
+  default on every :class:`~repro.sim.engine.Simulator`).
+* :class:`EventScheduler` — the event tier.  Each committed round's
+  bulk PUSH/PULL contacts become timed events: a contact ``u -> w``
+  starts at ``u``'s local clock, completes ``delay(u, w)`` time units
+  later, advances ``u``'s clock to the completion time and delivers at
+  ``t + delay(edge)`` — the receiver's clock is folded up to the
+  delivery time, so causality propagates through the contact pattern.
+  ``sim_time`` is the latest completion seen so far: the simulated
+  wall-clock the round counter cannot express.
+
+The event tier is a **timing overlay**: algorithms and tasks drive the
+same bulk op surface, the logical round structure (and therefore every
+random draw, delivery and metric) is untouched, and per-message delay
+draws come from the dedicated ``"delay"`` seed stream.  Consequently an
+event run reproduces the round engine's results *bit-identically* —
+zero-latency or otherwise — while exposing a completion-time axis; the
+fingerprint corpus replays through the event tier to pin exactly that.
+
+Determinism: the optional :class:`EventQueue` (``record_events=True``)
+orders deliveries by the content key ``(time, dst, src, kind)``, so the
+delivery order is a pure function of the events themselves — identical
+no matter in which order a producer happened to push them onto the
+heap.
+
+Delay resolution order: an explicit ``EventSchedulerSpec(delay=...)``
+wins, else the topology's ``delay=`` annotation, else unit
+:class:`~repro.sim.topology.ConstantDelay` (event time coincides with
+the round clock under full participation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.topology import (
+    DELAY_MODELS,
+    BoundDelay,
+    ConstantDelay,
+    DelayModel,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Round, Simulator
+    from repro.sim.network import Network
+
+#: Scheduler tiers selectable by name (``run/sweep --scheduler``).
+SCHEDULER_NAMES = ("round", "event")
+
+
+class EventQueue:
+    """A deterministic min-heap of delivery events.
+
+    Events are plain tuples ``(time, dst, src, kind)`` and the heap
+    orders by that full content key, so ties on ``time`` break on the
+    event's identity rather than on heap insertion order: pushing the
+    same multiset of events in *any* order drains the same sequence
+    (the Hypothesis suite pins this).  Two events with identical keys
+    are indistinguishable, so their relative order is moot.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, int, str]] = []
+
+    def push(self, time: float, dst: int, src: int, kind: str = "push") -> None:
+        heapq.heappush(self._heap, (float(time), int(dst), int(src), str(kind)))
+
+    def pop(self) -> Tuple[float, int, int, str]:
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Tuple[float, int, int, str]:
+        return self._heap[0]
+
+    def drain(self) -> List[Tuple[float, int, int, str]]:
+        """Pop everything, in (time, dst, src, kind) order."""
+        out = []
+        while self._heap:
+            out.append(heapq.heappop(self._heap))
+        return out
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+class Scheduler:
+    """The protocol both tiers implement.
+
+    A scheduler attaches to one :class:`~repro.sim.engine.Simulator`;
+    the engine calls :meth:`on_commit` with every committed
+    :class:`~repro.sim.engine.Round` (after metrics are charged, before
+    commit hooks fire, so telemetry probes sample the committed event
+    batch with ``sim_time`` already advanced).  ``sim_time`` is the
+    tier's notion of elapsed simulated time.
+    """
+
+    name: str = "scheduler"
+
+    def attach(self, sim: "Simulator") -> None:
+        self._sim = sim
+
+    def on_commit(self, committed: "Round") -> None:
+        raise NotImplementedError
+
+    @property
+    def sim_time(self) -> float:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class RoundScheduler(Scheduler):
+    """The synchronous tier: one committed round = one time unit.
+
+    This is the historical engine's clock, refactored behind the
+    protocol — it keeps no state of its own and its commit hook is a
+    no-op, so the default path stays byte-identical to the
+    pre-scheduler engine.
+    """
+
+    name = "round"
+
+    def on_commit(self, committed: "Round") -> None:
+        pass
+
+    @property
+    def sim_time(self) -> float:
+        return float(self._sim.metrics.rounds)
+
+
+class EventScheduler(Scheduler):
+    """The event tier: a causal timing overlay on the round engine.
+
+    Per-node simulated clocks start at 0.  When a round commits, every
+    contact ``u -> w`` declared in it starts at ``clock[u]`` (all of a
+    node's contacts within one round are concurrent) and completes
+    ``delay(u, w)`` later; the initiator's clock advances to the
+    completion time and a *delivered* contact folds the receiver's
+    clock up to it (``max``), so slow endpoints drag their causal
+    descendants.  ``sim_time`` is the latest completion seen so far.
+
+    Fast paths: a zero-latency delay keeps every clock frozen at 0 (the
+    overlay costs nothing — the E19 parity gate's configuration); a
+    scalar constant delay with full participation and uniform clocks
+    advances one scalar instead of ``n`` clocks.  The general path is a
+    handful of vectorised ops per committed round.
+
+    ``record_events=True`` additionally pushes every delivered contact
+    into an :class:`EventQueue` keyed ``(time, dst, src, kind)`` —
+    drain it for the globally time-ordered delivery log (debug scale;
+    the hot path never builds per-message Python objects).
+    """
+
+    name = "event"
+
+    def __init__(
+        self,
+        delay: BoundDelay,
+        rng: np.random.Generator,
+        *,
+        model: Optional[DelayModel] = None,
+        record_events: bool = False,
+    ) -> None:
+        self._delay = delay
+        self._rng = rng
+        self._model = model
+        self.record_events = bool(record_events)
+        self.events: Optional[EventQueue] = EventQueue() if record_events else None
+        self._clock: Optional[np.ndarray] = None
+        self._uniform: Optional[float] = 0.0  # all clocks equal this, when set
+        self._sim_time = 0.0
+        self._alive_count = -1
+        self._alive_epoch: Optional[int] = None
+
+    @property
+    def sim_time(self) -> float:
+        return self._sim_time
+
+    def describe(self) -> str:
+        if self._model is not None:
+            return f"event({self._model.describe()})"
+        return "event"
+
+    def clocks(self) -> np.ndarray:
+        """The per-node simulated clocks (materialised on demand)."""
+        n = self._sim.net.n
+        if self._clock is None:
+            return np.full(n, self._uniform or 0.0)
+        return self._clock
+
+    # ------------------------------------------------------------------
+
+    def _alive_nodes(self) -> int:
+        net = self._sim.net
+        if self._alive_epoch != net.liveness_epoch or self._alive_count < 0:
+            self._alive_count = int(np.count_nonzero(net.alive))
+            self._alive_epoch = net.liveness_epoch
+        return self._alive_count
+
+    def on_commit(self, committed: "Round") -> None:
+        if self._delay.zero and not self.record_events:
+            return  # clocks frozen at 0: the zero-latency overlay is free
+        ops = [
+            op
+            for op in (*committed._pushes, *committed._pulls)
+            if len(op.srcs)
+        ]
+        if not ops:
+            return  # an idle round takes no simulated time on the event tier
+
+        constant = self._delay.constant
+        if (
+            constant is not None
+            and self._uniform is not None
+            and not self.record_events
+            and self._sim.dynamics is None
+        ):
+            # Uniform fast path: when every alive node initiates exactly
+            # once (the model invariant caps initiations at one), every
+            # clock advances by the same constant and stays uniform.
+            initiations = sum(
+                len(op.srcs) for op in ops if op.counts_initiation
+            )
+            if initiations == self._alive_nodes():
+                self._uniform += constant
+                self._sim_time = self._uniform
+                return
+
+        n = self._sim.net.n
+        if self._clock is None:
+            self._clock = np.zeros(n, dtype=np.float64)
+        if self._uniform is not None:
+            if self._uniform:
+                self._clock.fill(self._uniform)
+            self._uniform = None
+
+        srcs = np.concatenate([np.asarray(op.srcs, dtype=np.int64) for op in ops])
+        dsts = np.concatenate([np.asarray(op.dsts, dtype=np.int64) for op in ops])
+        arrived = np.concatenate([op.arrived for op in ops])
+        complete = self._clock[srcs] + self._delay.delays(srcs, dsts, self._rng)
+        np.maximum.at(self._clock, srcs, complete)
+        if arrived.any():
+            np.maximum.at(self._clock, dsts[arrived], complete[arrived])
+        self._sim_time = max(self._sim_time, float(complete.max()))
+
+        if self.record_events:
+            kinds = np.concatenate(
+                [
+                    np.full(len(op.srcs), i < len(committed._pushes))
+                    for i, op in enumerate(ops)
+                ]
+            )
+            for s, d, t, k in zip(
+                srcs[arrived].tolist(),
+                dsts[arrived].tolist(),
+                complete[arrived].tolist(),
+                kinds[arrived].tolist(),
+            ):
+                self.events.push(t, d, s, "push" if k else "pull")
+
+
+@dataclass(frozen=True)
+class EventSchedulerSpec:
+    """Frozen, picklable configuration of the event tier.
+
+    ``delay=None`` defers to the topology's ``delay=`` annotation, then
+    to unit :class:`~repro.sim.topology.ConstantDelay`.  Safe inside a
+    :class:`~repro.analysis.runner.RunSpec` and across process pools.
+    """
+
+    name: ClassVar[str] = "event"
+    delay: Optional[DelayModel] = None
+    record_events: bool = False
+
+    def resolve_delay(self, topology=None) -> DelayModel:
+        """The delay model this spec runs: explicit > topology > unit."""
+        if self.delay is not None:
+            return self.delay
+        if topology is not None and topology.delay is not None:
+            return topology.delay
+        return ConstantDelay(1.0)
+
+    def bind(self, net: "Network", rng: np.random.Generator) -> EventScheduler:
+        """Materialise the scheduler for one bound network.
+
+        ``rng`` is the run's dedicated ``"delay"`` stream: the straggler
+        set / per-edge weights are drawn from it here, and the bound
+        scheduler keeps it for per-message jitter — algorithm coins are
+        never touched, which is what keeps event runs bit-identical to
+        the round engine.
+        """
+        model = self.resolve_delay(net.topology)
+        bound = model.bind(net.n, net.graph, rng)
+        return EventScheduler(
+            bound, rng, model=model, record_events=self.record_events
+        )
+
+    def describe(self) -> str:
+        inner = self.delay.describe() if self.delay is not None else "topology"
+        return f"event({inner})"
+
+
+def resolve_scheduler(
+    spec: "EventSchedulerSpec | str | None",
+) -> Optional[EventSchedulerSpec]:
+    """Normalise a scheduler argument.
+
+    Returns ``None`` for the round tier (the default — no overlay is
+    attached and the engine path is untouched) or an
+    :class:`EventSchedulerSpec` for the event tier.
+    """
+    if spec is None:
+        return None
+    if isinstance(spec, EventSchedulerSpec):
+        return spec
+    if isinstance(spec, str):
+        if spec == "round":
+            return None
+        if spec == "event":
+            return EventSchedulerSpec()
+        raise ValueError(
+            f"unknown scheduler '{spec}'; expected one of {SCHEDULER_NAMES}"
+        )
+    raise TypeError(
+        f"scheduler must be an EventSchedulerSpec, 'round', 'event' or "
+        f"None; got {type(spec).__name__}"
+    )
+
+
+def parse_delay(text: str) -> DelayModel:
+    """Build a delay model from a CLI spec string.
+
+    Formats: ``NAME`` or ``NAME:ARGS`` where ``ARGS`` is a
+    comma-separated mix of positional numbers and ``key=value`` pairs —
+    ``constant:0.5``, ``jitter:0.5,1.5``,
+    ``straggler:fraction=0.02,factor=10``, ``wan:sigma=1.25``,
+    ``rate-limited:fraction=0.1,factor=20``.
+    """
+    name, _, argstr = text.partition(":")
+    name = name.strip()
+    cls = DELAY_MODELS.get(name)
+    if cls is None:
+        raise ValueError(
+            f"unknown delay model '{name}'; expected one of "
+            f"{', '.join(sorted(DELAY_MODELS))}"
+        )
+    args: List[float] = []
+    kwargs = {}
+    for part in argstr.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            key, _, value = part.partition("=")
+            try:
+                kwargs[key.strip()] = float(value)
+            except ValueError:
+                raise ValueError(
+                    f"delay model '{name}': argument '{key.strip()}' needs "
+                    f"a number, got '{value.strip()}'"
+                ) from None
+        else:
+            try:
+                args.append(float(part))
+            except ValueError:
+                raise ValueError(
+                    f"delay model '{name}': positional argument must be a "
+                    f"number, got '{part}'"
+                ) from None
+    try:
+        return cls(*args, **kwargs)
+    except TypeError as exc:
+        raise ValueError(f"bad arguments for delay model '{name}': {exc}") from None

@@ -39,6 +39,22 @@ materialised from the network's own seed stream at bind time, so every
 replication seed gets its own independently sampled graph and results
 stay bit-identical across the broadcast / reset-replication / parallel
 sweep execution shapes.
+
+Delay models
+------------
+Every topology spec optionally carries a ``delay=`` annotation — a
+frozen :class:`DelayModel` giving each contact a latency in simulated
+time units.  Delay models are *timing metadata*: the synchronous round
+engine ignores them entirely, and only the event tier
+(:mod:`repro.sim.schedule`) consults them, so annotating a topology
+never perturbs round-counted results.  Scalar models
+(:class:`ConstantDelay`, :class:`UniformJitterDelay`,
+:class:`NodeSlowdownDelay`) work on any topology including the
+complete graph — no CSR is forced.  Per-edge models
+(:class:`EdgeWeightedDelay`, :class:`RateLimitedEdgeDelay`) attach
+weights to the CSR edges and therefore require a materialised
+:class:`ContactGraph`.  Models bind per run seed from the dedicated
+``"delay"`` seed stream, so delay draws never touch algorithm coins.
 """
 
 from __future__ import annotations
@@ -68,6 +84,11 @@ class Topology:
     complete: ClassVar[bool] = False
     deterministic: ClassVar[bool] = False
 
+    #: Class-level fallback so third-party specs that predate the delay
+    #: field still answer ``spec.delay``; every shipped spec overrides
+    #: this with a real (frozen, picklable) dataclass field.
+    delay = None
+
     def bind(self, n: int, rng: np.random.Generator) -> "Optional[ContactGraph]":
         """Materialise the adjacency for an ``n``-node network.
 
@@ -80,7 +101,13 @@ class Topology:
 
     def describe(self) -> str:
         """Short human-readable form for reports and catalogues."""
-        return self.name
+        return self._decorate(self.name)
+
+    def _decorate(self, base: str) -> str:
+        """Append the delay annotation, when one is attached."""
+        if self.delay is not None:
+            return f"{base}+{self.delay.describe()}"
+        return base
 
 
 class ContactGraph:
@@ -289,6 +316,306 @@ def _csr_from_edges(n: int, u: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, n
     return indptr, dst.astype(np.int64, copy=False)
 
 
+# ---------------------------------------------------------------------------
+# Delay models: per-contact latency annotations for the event tier.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Base class of the frozen per-contact delay specs.
+
+    A delay model is pure configuration (picklable, hashable — safe on
+    a frozen :class:`Topology` or inside a ``RunSpec``); :meth:`bind`
+    turns it into a :class:`BoundDelay` oracle for one network, drawing
+    any persistent randomness (straggler sets, per-edge weights) from
+    the run's dedicated ``"delay"`` seed stream.  ``requires_graph``
+    marks the per-edge models that need a materialised CSR — the
+    complete graph keeps the scalar models, so no CSR is ever forced.
+    """
+
+    name: ClassVar[str] = "delay"
+    requires_graph: ClassVar[bool] = False
+
+    def bind(
+        self, n: int, graph: "Optional[ContactGraph]", rng: np.random.Generator
+    ) -> "BoundDelay":
+        """Materialise the per-contact oracle for an ``n``-node network."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable form for reports and catalogues."""
+        return self.name
+
+    def _require_graph(self, graph: "Optional[ContactGraph]") -> "ContactGraph":
+        if graph is None:
+            raise ValueError(
+                f"delay model '{self.name}' attaches weights to CSR edges "
+                f"and needs a materialised contact graph; the complete "
+                f"graph keeps a scalar model (constant / jitter / "
+                f"straggler) so no CSR is forced"
+            )
+        return graph
+
+
+class BoundDelay:
+    """A bound delay oracle: per-contact latencies for one network.
+
+    ``constant`` is non-``None`` when every contact takes exactly that
+    many time units — the event tier's scalar fast path.  Otherwise
+    :meth:`delays` returns a float64 array parallel to the contact
+    arrays; per-message jitter draws come from the caller-supplied
+    ``"delay"`` stream so algorithm coins stay untouched.
+    """
+
+    def __init__(self, constant: Optional[float] = None) -> None:
+        self.constant = None if constant is None else float(constant)
+
+    @property
+    def zero(self) -> bool:
+        """True when every contact is instantaneous (zero latency)."""
+        return self.constant == 0.0
+
+    def delays(
+        self, srcs: np.ndarray, dsts: np.ndarray, rng: np.random.Generator
+    ) -> "np.ndarray | float":
+        if self.constant is not None:
+            return self.constant
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantDelay(DelayModel):
+    """Every contact takes exactly ``delay`` time units.
+
+    The unit default makes event time coincide with the round clock
+    under full participation; ``ConstantDelay(0.0)`` is the zero-latency
+    model whose event runs reproduce the round engine's timing-free
+    semantics exactly.
+    """
+
+    name: ClassVar[str] = "constant"
+    delay: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.delay >= 0.0:
+            raise ValueError(f"constant delay must be >= 0, got {self.delay}")
+
+    def bind(self, n, graph, rng) -> BoundDelay:
+        return BoundDelay(constant=self.delay)
+
+    def describe(self) -> str:
+        return f"constant({self.delay:g})"
+
+
+class _JitterBound(BoundDelay):
+    def __init__(self, low: float, high: float) -> None:
+        super().__init__(constant=low if low == high else None)
+        self.low, self.high = low, high
+
+    def delays(self, srcs, dsts, rng):
+        if self.constant is not None:
+            return self.constant
+        return rng.uniform(self.low, self.high, size=len(np.asarray(srcs)))
+
+
+@dataclass(frozen=True)
+class UniformJitterDelay(DelayModel):
+    """Per-message latency drawn uniformly from ``[low, high]``.
+
+    The gossipy-style round jitter: every contact independently takes
+    a fresh draw, on any topology (no CSR needed).
+    """
+
+    name: ClassVar[str] = "jitter"
+    low: float = 0.5
+    high: float = 1.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.low <= self.high:
+            raise ValueError(
+                f"jitter bounds need 0 <= low <= high, got "
+                f"low={self.low}, high={self.high}"
+            )
+
+    def bind(self, n, graph, rng) -> BoundDelay:
+        return _JitterBound(self.low, self.high)
+
+    def describe(self) -> str:
+        return f"jitter({self.low:g},{self.high:g})"
+
+
+class _NodeSlowdownBound(BoundDelay):
+    def __init__(self, slow: np.ndarray, base: float, factor: float) -> None:
+        super().__init__()
+        self._slow = slow
+        self._base = base
+        self._slowed = base * factor
+
+    def delays(self, srcs, dsts, rng):
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        valid = (dsts >= 0) & (dsts < len(self._slow))
+        hit = self._slow[srcs] | (valid & self._slow[np.where(valid, dsts, 0)])
+        return np.where(hit, self._slowed, self._base)
+
+
+@dataclass(frozen=True)
+class NodeSlowdownDelay(DelayModel):
+    """A straggler tail: a random ``fraction`` of nodes is ``factor``×
+    slower; a contact touching a slow endpoint takes ``base * factor``
+    time units, everything else ``base``.
+
+    The slow set is drawn once at bind from the ``"delay"`` stream (at
+    least one node is always slow, so tiny-n runs still exhibit a
+    tail).  Works on any topology, complete graph included.
+    """
+
+    name: ClassVar[str] = "straggler"
+    base: float = 1.0
+    fraction: float = 0.02
+    factor: float = 10.0
+
+    def __post_init__(self) -> None:
+        if not self.base >= 0.0:
+            raise ValueError(f"straggler base must be >= 0, got {self.base}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"straggler fraction must be in (0, 1], got {self.fraction}"
+            )
+        if not self.factor >= 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {self.factor}")
+
+    def bind(self, n, graph, rng) -> BoundDelay:
+        slow = rng.random(n) < self.fraction
+        if not slow.any():
+            slow[int(rng.integers(0, n))] = True
+        return _NodeSlowdownBound(slow, self.base, self.factor)
+
+    def describe(self) -> str:
+        return (
+            f"straggler(fraction={self.fraction:g},factor={self.factor:g})"
+            if self.base == 1.0
+            else f"straggler(base={self.base:g},fraction={self.fraction:g},"
+            f"factor={self.factor:g})"
+        )
+
+
+class _EdgeBound(BoundDelay):
+    """Per-directed-CSR-entry weights, symmetric across each undirected
+    edge.  Off-graph contacts (the ``-1`` void sentinel, or a
+    global-addressed direct call to a non-neighbor) fall back to
+    ``default`` — they are routed outside the weighted fabric.
+    """
+
+    def __init__(self, graph: ContactGraph, weights: np.ndarray, default: float) -> None:
+        super().__init__()
+        self._graph = graph
+        self._weights = weights  # parallel to graph.indices (CSR order)
+        self._default = float(default)
+
+    def delays(self, srcs, dsts, rng):
+        g = self._graph
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        valid = (dsts >= 0) & (dsts < g.n)
+        keys = srcs * g.n + np.where(valid, dsts, 0)
+        edge_keys = g._edge_keys
+        out = np.full(len(keys), self._default, dtype=np.float64)
+        if len(edge_keys):
+            pos = np.minimum(np.searchsorted(edge_keys, keys), len(edge_keys) - 1)
+            hit = valid & (edge_keys[pos] == keys)
+            out[hit] = self._weights[pos[hit]]
+        return out
+
+
+def _undirected_edge_index(graph: ContactGraph) -> Tuple[int, np.ndarray]:
+    """(#undirected edges, per-directed-entry undirected edge id) — so a
+    weight drawn once per undirected edge lands on both directions."""
+    src = np.repeat(np.arange(graph.n, dtype=np.int64), graph.degrees)
+    lo = np.minimum(src, graph.indices)
+    hi = np.maximum(src, graph.indices)
+    uniq, inverse = np.unique(lo * graph.n + hi, return_inverse=True)
+    return len(uniq), inverse
+
+
+@dataclass(frozen=True)
+class EdgeWeightedDelay(DelayModel):
+    """Skewed WAN-style latencies: each undirected CSR edge gets an
+    independent lognormal weight ``scale * exp(sigma * N(0, 1))``, the
+    same in both directions.  Requires a materialised contact graph.
+    """
+
+    name: ClassVar[str] = "wan"
+    requires_graph: ClassVar[bool] = True
+    scale: float = 1.0
+    sigma: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.scale > 0.0:
+            raise ValueError(f"wan scale must be > 0, got {self.scale}")
+        if not self.sigma >= 0.0:
+            raise ValueError(f"wan sigma must be >= 0, got {self.sigma}")
+
+    def bind(self, n, graph, rng) -> BoundDelay:
+        graph = self._require_graph(graph)
+        m, inverse = _undirected_edge_index(graph)
+        weights = self.scale * rng.lognormal(0.0, self.sigma, size=m)
+        return _EdgeBound(graph, weights[inverse], default=self.scale)
+
+    def describe(self) -> str:
+        return f"wan(scale={self.scale:g},sigma={self.sigma:g})"
+
+
+@dataclass(frozen=True)
+class RateLimitedEdgeDelay(DelayModel):
+    """A random ``fraction`` of the undirected CSR edges is rate-limited
+    to ``factor``× the base latency (both directions); everything else
+    takes ``base``.  Requires a materialised contact graph.
+    """
+
+    name: ClassVar[str] = "rate-limited"
+    requires_graph: ClassVar[bool] = True
+    base: float = 1.0
+    fraction: float = 0.05
+    factor: float = 20.0
+
+    def __post_init__(self) -> None:
+        if not self.base >= 0.0:
+            raise ValueError(f"rate-limited base must be >= 0, got {self.base}")
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError(
+                f"rate-limited fraction must be in (0, 1], got {self.fraction}"
+            )
+        if not self.factor >= 1.0:
+            raise ValueError(
+                f"rate-limited factor must be >= 1, got {self.factor}"
+            )
+
+    def bind(self, n, graph, rng) -> BoundDelay:
+        graph = self._require_graph(graph)
+        m, inverse = _undirected_edge_index(graph)
+        limited = rng.random(m) < self.fraction
+        weights = np.where(limited, self.base * self.factor, self.base)
+        return _EdgeBound(graph, weights[inverse], default=self.base)
+
+    def describe(self) -> str:
+        return (
+            f"rate-limited(fraction={self.fraction:g},factor={self.factor:g})"
+        )
+
+
+#: Delay models constructible by name (the CLI's ``--delay NAME[:ARGS]``
+#: and the scenario catalogue go through this table).
+DELAY_MODELS = {
+    "constant": ConstantDelay,
+    "jitter": UniformJitterDelay,
+    "straggler": NodeSlowdownDelay,
+    "wan": EdgeWeightedDelay,
+    "rate-limited": RateLimitedEdgeDelay,
+}
+
+
 @dataclass(frozen=True)
 class CompleteGraph(Topology):
     """The paper's setting: everyone can phone everyone.
@@ -301,6 +628,7 @@ class CompleteGraph(Topology):
     name: ClassVar[str] = "complete"
     complete: ClassVar[bool] = True
     deterministic: ClassVar[bool] = True
+    delay: Optional[DelayModel] = None
 
     def bind(self, n: int, rng: np.random.Generator) -> None:
         return None
@@ -318,6 +646,7 @@ class Ring(Topology):
     name: ClassVar[str] = "ring"
     deterministic: ClassVar[bool] = True
     k: int = 1
+    delay: Optional[DelayModel] = None
 
     def __post_init__(self) -> None:
         if self.k < 1:
@@ -336,7 +665,7 @@ class Ring(Topology):
         return ContactGraph(self.describe(), n, indptr, indices)
 
     def describe(self) -> str:
-        return f"ring(k={self.k})"
+        return self._decorate(f"ring(k={self.k})")
 
 
 @dataclass(frozen=True)
@@ -350,6 +679,7 @@ class Torus2D(Topology):
 
     name: ClassVar[str] = "torus"
     deterministic: ClassVar[bool] = True
+    delay: Optional[DelayModel] = None
 
     @staticmethod
     def dims(n: int) -> Tuple[int, int]:
@@ -376,7 +706,7 @@ class Torus2D(Topology):
         return ContactGraph(self.describe(), n, indptr, indices)
 
     def describe(self) -> str:
-        return "torus"
+        return self._decorate("torus")
 
 
 @dataclass(frozen=True)
@@ -392,6 +722,7 @@ class RandomRegular(Topology):
 
     name: ClassVar[str] = "random-regular"
     d: int = 8
+    delay: Optional[DelayModel] = None
     #: Repair sweeps before giving up and dropping the remaining bad
     #: pairs (reached only at adversarially tiny n; each sweep fixes
     #: the vast majority of collisions).
@@ -446,7 +777,7 @@ class RandomRegular(Topology):
         return bad
 
     def describe(self) -> str:
-        return f"random-regular(d={self.d})"
+        return self._decorate(f"random-regular(d={self.d})")
 
 
 @dataclass(frozen=True)
@@ -462,6 +793,7 @@ class ErdosRenyiGnp(Topology):
 
     name: ClassVar[str] = "gnp"
     p: Optional[float] = None
+    delay: Optional[DelayModel] = None
 
     def __post_init__(self) -> None:
         if self.p is not None and not 0.0 < self.p <= 1.0:
@@ -502,7 +834,7 @@ class ErdosRenyiGnp(Topology):
         return i, j
 
     def describe(self) -> str:
-        return "gnp" if self.p is None else f"gnp(p={self.p:g})"
+        return self._decorate("gnp" if self.p is None else f"gnp(p={self.p:g})")
 
 
 #: The default topology — shared instance so identity checks are cheap.

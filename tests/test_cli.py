@@ -129,6 +129,108 @@ class TestReplicationFlags:
         assert payload[0]["summary"]["reps"] == 3
 
 
+class TestSchedulerFlags:
+    def test_run_delay_implies_event_tier(self, capsys):
+        rc = main(
+            ["run", "--n", "256", "--algorithm", "push-pull",
+             "--delay", "straggler:fraction=0.05,factor=10", "--seed", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scheduler: event(straggler" in out
+        assert "simulated completion time" in out
+
+    def test_run_scheduler_event_default_delay(self, capsys):
+        rc = main(
+            ["run", "--n", "256", "--algorithm", "push-pull",
+             "--scheduler", "event", "--seed", "1"]
+        )
+        assert rc == 0
+        assert "scheduler: event(constant(1))" in capsys.readouterr().out
+
+    def test_round_scheduler_rejects_delay(self, capsys):
+        rc = main(
+            ["run", "--n", "256", "--scheduler", "round", "--delay", "constant:2"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_delay_spec_is_config_error(self, capsys):
+        rc = main(["run", "--n", "256", "--delay", "warp:9"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_reps_event_tier(self, capsys):
+        rc = main(
+            ["run", "--n", "256", "--algorithm", "push-pull",
+             "--reps", "3", "--scheduler", "event"]
+        )
+        assert rc == 0
+        # The event tier has no (R, n) clock overlay: auto falls back.
+        assert "vector" not in capsys.readouterr().out
+
+    def test_sweep_event_tier(self, capsys):
+        rc = main(
+            ["sweep", "--algorithms", "push-pull", "--ns", "256",
+             "--seeds", "2", "--scheduler", "event"]
+        )
+        assert rc == 0
+        assert "push-pull" in capsys.readouterr().out
+
+    def test_event_scenarios_in_catalogue(self, capsys):
+        rc = main(["list-scenarios"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for name in ("straggler-tail", "skewed-wan", "rate-limited-edge"):
+            assert name in out
+
+
+class TestReportErrors:
+    def _report(self, path):
+        return main(["report", str(path)])
+
+    def test_truncated_jsonl_is_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta", "schema"\n')
+        assert self._report(path) == 2
+        err = capsys.readouterr().err
+        assert "invalid JSON" in err and "Traceback" not in err
+
+    def test_non_dict_records_are_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("42\n[1, 2]\n")
+        assert self._report(path) == 2
+        err = capsys.readouterr().err
+        assert "not an object" in err
+
+    def test_empty_file_is_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("")
+        assert self._report(path) == 2
+        assert "empty telemetry" in capsys.readouterr().err
+
+    def test_missing_file_is_clean_error(self, capsys, tmp_path):
+        assert self._report(tmp_path / "nope.jsonl") == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_schema_drift_is_clean_error(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"type": "meta", "schema": 999, "runs": 0}\n')
+        assert self._report(path) == 2
+        assert "unsupported schema" in capsys.readouterr().err
+
+    def test_event_tier_telemetry_round_trips(self, capsys, tmp_path):
+        path = tmp_path / "t.jsonl"
+        rc = main(
+            ["run", "--n", "256", "--algorithm", "push-pull",
+             "--scheduler", "event", "--telemetry", str(path)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert self._report(path) == 0
+        assert "sim_time" in capsys.readouterr().out
+
+
 class TestTaskFlags:
     def test_run_task(self, capsys):
         rc = main(

@@ -7,10 +7,14 @@ execution shapes:
 
 * ``broadcast`` — the default path: fresh int64 network, no buffer pool;
 * ``lean-replication`` — :class:`repro.core.broadcast.ReplicationEngine`:
-  int32 index arrays, in-place ``Network.reset``, pooled round buffers.
+  int32 index arrays, in-place ``Network.reset``, pooled round buffers;
+* ``event-zero-latency`` — the default path under the event-queue
+  scheduler at zero latency: the timing overlay must never perturb the
+  algorithm's randomness, deliveries, or metrics.
 
-Bit-identity of the two shapes is the scale tier's core safety claim:
-dtype narrowing and buffer pooling move intermediates, never values.
+Bit-identity of the shapes is the scale tier's core safety claim:
+dtype narrowing, buffer pooling and clock overlays move intermediates
+and timestamps, never values.
 
 Run ``pytest tests/test_fingerprints.py --update-fingerprints`` to
 rewrite the pinned values after an intentional engine-output change
@@ -26,6 +30,8 @@ import pytest
 
 from repro.core.broadcast import ReplicationEngine, broadcast
 from repro.registry import make_topology
+from repro.sim.schedule import EventSchedulerSpec
+from repro.sim.topology import ConstantDelay
 
 FINGERPRINT_DIR = Path(__file__).parent / "fingerprints"
 
@@ -75,6 +81,14 @@ def _execute(case: dict, shape: str):
     )
     if shape == "broadcast":
         return broadcast(case["n"], case["algorithm"], seed=case["seed"], **config)
+    if shape == "event-zero-latency":
+        return broadcast(
+            case["n"],
+            case["algorithm"],
+            seed=case["seed"],
+            scheduler=EventSchedulerSpec(delay=ConstantDelay(0.0)),
+            **config,
+        )
     engine = ReplicationEngine(case["n"], case["algorithm"], **config)
     # Run a throwaway neighbouring seed first so the pinned seed executes
     # on a *reused* (reset) network and a warm pool — the reuse path is
@@ -106,7 +120,9 @@ def corpora(request):
     return _CORPORA
 
 
-@pytest.mark.parametrize("shape", ["broadcast", "lean-replication"])
+@pytest.mark.parametrize(
+    "shape", ["broadcast", "lean-replication", "event-zero-latency"]
+)
 @pytest.mark.parametrize("path, index", _CASES)
 def test_fingerprint(corpora, path, index, shape):
     case = corpora[path]["cases"][index]

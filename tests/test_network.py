@@ -15,9 +15,16 @@ class TestConstruction:
         net = Network(50, rng=0)
         assert net.alive_count == 50
 
-    def test_rejects_tiny_network(self):
+    def test_rejects_empty_network(self):
         with pytest.raises(ValueError):
-            Network(1)
+            Network(0)
+
+    def test_one_node_network_is_valid(self):
+        # A single node is a degenerate but legal network: it gossips
+        # with nobody (random_targets yields the -1 void sentinel) and
+        # a broadcast to it trivially succeeds.
+        net = Network(1, rng=0)
+        assert net.alive_count == 1
 
     def test_sizes_attached(self):
         net = Network(100, rng=0, rumor_bits=999)

@@ -104,6 +104,31 @@ class TestRoundSeries:
         s.force(round=99, v=99)
         assert s.last() == {"round": 99, "v": 99}
 
+    def test_force_respects_cap(self):
+        """Regression: repeated forced pushes (distinct rounds, e.g. one
+        per vector chunk) must re-thin like append does instead of
+        growing one row per force forever — while keeping the latest
+        forced row exact."""
+        s = RoundSeries(cap=8)
+        for r in range(1000):
+            s.force(round=r, v=r)
+        assert len(s) <= 8
+        assert s.decimated
+        assert s.last() == {"round": 999, "v": 999}
+        rounds = s.to_columns()["round"]
+        assert rounds == sorted(rounds)
+
+    def test_force_then_append_keeps_thinning_uniform(self):
+        s = RoundSeries(cap=8)
+        for r in range(20):
+            s.append(round=r, v=r)
+        s.force(round=20, v=20)
+        for r in range(21, 40):
+            s.append(round=r, v=r)
+        s.force(round=40, v=40)
+        assert len(s) <= 8
+        assert s.last() == {"round": 40, "v": 40}
+
     def test_force_updates_kept_last_row_in_place(self):
         s = RoundSeries()
         s.append(round=5, v=1)
