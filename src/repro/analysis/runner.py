@@ -71,6 +71,10 @@ class RunSpec:
     #: back on the result (``report.extras["telemetry"]`` /
     #: ``summary.telemetry``) for the parent to merge and export.
     telemetry: Optional[TelemetryConfig] = None
+    #: Contact-level causal tracing (event tier; upgrades the scheduler
+    #: when none is set).  Reports gain critical_path_len/dilation
+    #: extras; replication summaries gain the matching streams.
+    trace: bool = False
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
     def run(self) -> AlgorithmReport:
@@ -94,6 +98,7 @@ class RunSpec:
             topology=self.topology,
             direct_addressing=self.direct_addressing,
             scheduler=self.scheduler,
+            trace=self.trace,
             telemetry=collector,
             check_model=self.check_model,
             **self.kwargs,
@@ -125,6 +130,7 @@ class RunSpec:
             topology=self.topology,
             direct_addressing=self.direct_addressing,
             scheduler=self.scheduler,
+            trace=self.trace,
             telemetry=collector,
             check_model=self.check_model,
             **self.kwargs,

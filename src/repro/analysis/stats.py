@@ -233,6 +233,8 @@ class ReplicationSummary:
         task_error: Optional[float] = None,
         task_error_repaired: Optional[float] = None,
         sim_time: Optional[float] = None,
+        critical_path_len: Optional[float] = None,
+        dilation: Optional[float] = None,
     ) -> None:
         """Fold one replication's headline figures into the stream.
 
@@ -265,6 +267,14 @@ class ReplicationSummary:
         if sim_time is not None:
             values["sim_time"] = sim_time
             self.metrics.setdefault("sim_time", StreamingSummary())
+        # Traced event-tier replications only (broadcast(trace=True)):
+        # critical-path hop count and sim_time/rounds dilation streams.
+        if critical_path_len is not None:
+            values["critical_path_len"] = critical_path_len
+            self.metrics.setdefault("critical_path_len", StreamingSummary())
+        if dilation is not None:
+            values["dilation"] = dilation
+            self.metrics.setdefault("dilation", StreamingSummary())
         for name, value in values.items():
             self.metrics[name].push(value)
 
@@ -322,6 +332,14 @@ class ReplicationSummary:
         if sim_time is not None:
             row["sim_time_mean"] = round(sim_time.mean, 3)
             row["sim_time_max"] = round(sim_time.maximum, 3)
+        path_len = self.metrics.get("critical_path_len")
+        if path_len is not None:
+            row["critical_path_len_mean"] = round(path_len.mean, 3)
+            row["critical_path_len_max"] = round(path_len.maximum, 3)
+        dilation = self.metrics.get("dilation")
+        if dilation is not None:
+            row["dilation_mean"] = round(dilation.mean, 3)
+            row["dilation_max"] = round(dilation.maximum, 3)
         return row
 
     def __str__(self) -> str:

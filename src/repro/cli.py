@@ -18,7 +18,12 @@ Commands:
 * ``report`` — render a telemetry JSONL file (written by
   ``run``/``sweep`` ``--telemetry out.jsonl``, sampling every
   ``--probe-every K`` rounds) as a phase x wall-clock table plus
-  round-series summaries;
+  round-series summaries; ``--critical-path`` renders a ``--trace``
+  file's causal analysis (hop chain, dilation attribution, slack,
+  informed front) instead;
+* ``bench check`` — diff freshly produced ``BENCH_*.json`` trajectory
+  notes against the committed baselines (gate drift or a wall-clock
+  regression on a same-size run fails);
 * ``scenario`` — a named workload preset;
 * ``suite`` — a scenario x seed grid through the parallel executor
   (``--json PATH`` dumps the records for CI artifacts; ``--reps N``
@@ -51,6 +56,7 @@ from repro.obs import (
     Telemetry,
     TelemetryConfig,
     read_jsonl,
+    render_critical_path,
     render_report,
     validate_records,
 )
@@ -256,11 +262,29 @@ def _telemetry_from_args(args: argparse.Namespace) -> Optional[Telemetry]:
     return Telemetry(probe_every=args.probe_every)
 
 
+def _trace_collector(
+    args: argparse.Namespace, collector: Optional[Telemetry]
+) -> "tuple[Optional[Telemetry], bool]":
+    """Upgrade the collector for ``--trace PATH``: tracing needs a
+    collector to export through even when ``--telemetry`` is absent."""
+    if getattr(args, "trace", None) is None:
+        return collector, False
+    return collector or Telemetry(probe_every=args.probe_every), True
+
+
 def _write_telemetry(collector: Optional[Telemetry], path: Optional[str]) -> None:
     if collector is None or path is None:
         return
     count = collector.write(path)
     print(f"wrote {count} telemetry records to {path}")
+
+
+def _write_trace(collector: Optional[Telemetry], args: argparse.Namespace) -> None:
+    """Export the collector to the ``--trace`` path (when it differs from
+    the ``--telemetry`` path, which `_write_telemetry` already covered)."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path is not None and trace_path != getattr(args, "telemetry", None):
+        _write_telemetry(collector, trace_path)
 
 
 def _replication_table(summaries, title: str) -> Table:
@@ -303,7 +327,7 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
                 f"success={scalars['success']}"
             )
 
-    collector = _telemetry_from_args(args)
+    collector, traced = _trace_collector(args, _telemetry_from_args(args))
     summary = run_replications(
         args.n,
         args.algorithm,
@@ -321,9 +345,20 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
         consume=consume,
         workers=args.workers,
         telemetry=collector,
+        trace=traced,
     )
     print(_replication_table([summary], f"{args.reps} replications").render())
+    if traced:
+        row = summary.row()
+        if "critical_path_len_mean" in row:
+            print(
+                f"critical path: mean {row['critical_path_len_mean']} hop(s), "
+                f"max {row['critical_path_len_max']:.0f}; "
+                f"dilation mean {row.get('dilation_mean', 0)} "
+                f"(render with `repro report --critical-path {args.trace}`)"
+            )
     _write_telemetry(collector, args.telemetry)
+    _write_trace(collector, args)
     return 0 if summary.success_rate > 0 else 1
 
 
@@ -349,7 +384,7 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
             "running a single broadcast",
             file=sys.stderr,
         )
-    collector = _telemetry_from_args(args)
+    collector, traced = _trace_collector(args, _telemetry_from_args(args))
     report = broadcast(
         args.n,
         args.algorithm,
@@ -362,12 +397,22 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
         topology=_topology_from_args(args),
         direct_addressing=args.direct_addressing,
         scheduler=_scheduler_from_args(args),
+        trace=traced,
         telemetry=collector,
     )
     print(report)
     print()
     print(report.metrics.phase_report())
     _write_telemetry(collector, args.telemetry)
+    _write_trace(collector, args)
+    if "critical_path_len" in report.extras:
+        print()
+        print(
+            f"critical path: {report.extras['critical_path_len']} hop(s) to "
+            f"sim_time {report.extras['sim_time']:.2f}, dilation "
+            f"{report.extras['dilation']:.2f} (render with "
+            f"`repro report --critical-path {args.trace}`)"
+        )
     if "task_error" in report.extras:
         print()
         print(
@@ -486,8 +531,29 @@ def _cmd_report(args: argparse.Namespace) -> int:
         for problem in problems:
             print(f"invalid telemetry: {problem}", file=sys.stderr)
         return 2
+    if args.critical_path:
+        try:
+            print(render_critical_path(records, max_rows=args.series_rows))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
     print(render_report(records, max_series_rows=args.series_rows))
     return 0
+
+
+def _cmd_bench_check(args: argparse.Namespace) -> int:
+    from repro.analysis.benchcheck import check_directories
+
+    try:
+        result = check_directories(
+            args.baseline, args.fresh, max_regression=args.max_regression
+        )
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.render())
+    return 0 if result.ok else 1
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
@@ -708,6 +774,15 @@ def build_parser() -> argparse.ArgumentParser:
     _add_topology_flags(p_run)
     _add_scheduler_flags(p_run)
     _add_telemetry_flags(p_run)
+    p_run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="contact-level causal tracing (implies the event tier): "
+        "record every contact, extract the critical path to sim_time, "
+        "and export schema-v2 telemetry (trace/path records) to PATH "
+        "(render with `repro report --critical-path PATH`)",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_sweep = sub.add_parser("sweep", help="algorithm x n x seed grid")
@@ -739,7 +814,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="max displayed rows per round series (default 12)",
     )
+    p_report.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="render the schema-v2 critical path instead: hop chain, "
+        "per-node/per-edge dilation attribution, slack histogram, and "
+        "the ASCII informed-front timeline (needs a --trace file)",
+    )
     p_report.set_defaults(func=_cmd_report)
+
+    p_bench = sub.add_parser("bench", help="benchmark trajectory tooling")
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_check = bench_sub.add_parser(
+        "check",
+        help="diff fresh BENCH_*.json trajectory notes against a committed "
+        "baseline: gate drift or a wall-clock regression fails",
+    )
+    p_check.add_argument(
+        "baseline", help="directory holding the committed BENCH_*.json files"
+    )
+    p_check.add_argument(
+        "--fresh",
+        default=".",
+        metavar="DIR",
+        help="directory holding the freshly produced BENCH_*.json files "
+        "(default: current directory)",
+    )
+    p_check.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.5,
+        metavar="FRAC",
+        help="allowed fractional wall-clock growth on same-size runs "
+        "before failing (default 0.5 = +50%%)",
+    )
+    p_check.set_defaults(func=_cmd_bench_check)
 
     p_sc = sub.add_parser("scenario", help="run a named workload")
     p_sc.add_argument("name", choices=sorted(SCENARIOS))

@@ -24,6 +24,7 @@ runs it through the algorithm's registered task transport::
 
 from __future__ import annotations
 
+from dataclasses import replace as _dc_replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 from repro.core.constants import LAPTOP, Profile, get_profile
@@ -116,7 +117,7 @@ def broadcast(
     direct_addressing: str = "global",
     scheduler: "EventSchedulerSpec | str | None" = None,
     profile: "Profile | str" = LAPTOP,
-    trace: Optional[Trace] = None,
+    trace: "Trace | bool | None" = None,
     telemetry: "Optional[Telemetry]" = None,
     check_model: bool = True,
     **algorithm_kwargs,
@@ -184,6 +185,14 @@ def broadcast(
         ``extras["sim_time"]`` (the simulated completion time).  Delay
         resolution: explicit spec delay > topology ``delay=``
         annotation > unit constant.
+    trace:
+        ``Trace`` instance for round-level event capture (the legacy
+        knob), or ``True`` as shorthand for contact-level causal
+        tracing on the event tier: the scheduler (upgraded to the event
+        tier when none was requested) fills a
+        :class:`~repro.obs.trace.ContactTrace`, and the report gains
+        ``extras["contact_trace"]`` / ``extras["critical_path"]`` /
+        ``extras["critical_path_len"]`` / ``extras["dilation"]``.
     profile:
         Constant-resolution profile or its name.
     telemetry:
@@ -257,6 +266,10 @@ def _run_on_network(
 ) -> AlgorithmReport:
     """Execute one seeded broadcast on an already-built network.
 
+    ``trace=True`` is the contact-tracing shorthand: the scheduler is
+    upgraded to a tracing event tier (created when none was requested),
+    and the legacy round-event ``trace`` stays off.
+
     The single execution path behind both :func:`broadcast` (fresh
     network, no pool) and :class:`ReplicationEngine` (reset network,
     shared pool): every seed-derived stream is identical in both shapes,
@@ -266,6 +279,15 @@ def _run_on_network(
     legacy streams are untouched, so the default task stays bit-identical
     to the pre-task-layer engine.
     """
+    if trace is True:
+        trace = None
+        scheduler = (
+            EventSchedulerSpec(trace=True)
+            if scheduler is None
+            else _dc_replace(scheduler, trace=True)
+        )
+    elif trace is False:
+        trace = None
     if failures:
         apply_pattern(net, failure_pattern, failures, derive_seed(seed, "fail"))
     if source is None:
@@ -326,6 +348,20 @@ def _run_on_network(
             **(task_kwargs or {}),
         )
         report = spec.run_task(sim, state, profile, trace, **algorithm_kwargs)
+    # Causal-trace extras must land before finish_run so the telemetry
+    # collector can serialise them into the schema v2 trace/path records.
+    if (
+        sched is not None
+        and getattr(sched, "contacts", None) is not None
+        and len(sched.contacts)
+    ):
+        path = sched.contacts.critical_path()
+        report.extras.setdefault("contact_trace", sched.contacts)
+        report.extras.setdefault("critical_path", path)
+        report.extras.setdefault("critical_path_len", int(path.length))
+        report.extras.setdefault(
+            "dilation", float(sched.sim_time) / max(report.rounds, 1)
+        )
     if tel_run is not None:
         telemetry.finish_run(tel_run, sim=sim, report=report)
     report.extras.setdefault("seed", seed)
@@ -417,7 +453,7 @@ class ReplicationEngine:
     def run(
         self,
         seed: int,
-        trace: Optional[Trace] = None,
+        trace: "Trace | bool | None" = None,
         telemetry: "Optional[Telemetry]" = None,
     ) -> AlgorithmReport:
         """Execute one replication, bit-identical to ``broadcast(seed=seed)``."""
@@ -480,6 +516,7 @@ def run_replications(
     batch_elems: int = DEFAULT_BATCH_ELEMS,
     workers: Optional[int] = None,
     telemetry: "Optional[Telemetry]" = None,
+    trace: bool = False,
     _seed_offset: int = 0,
     **algorithm_kwargs: Any,
 ) -> ReplicationSummary:
@@ -539,6 +576,11 @@ def run_replications(
     phase drivers, its series carries batch-aggregate samples).  Sharded
     runs give each shard a fresh collector and merge them back in shard
     order, so the exported run ids are worker-count independent.
+
+    ``trace=True`` turns on contact-level causal tracing (upgrading the
+    scheduler to the event tier when none was requested): every
+    replication extracts its critical path, and the summary gains
+    ``critical_path_len`` / ``dilation`` streams.
     """
     # Imported here, not at module top: repro.analysis.runner imports this
     # module, so a top-level import of repro.analysis would be circular.
@@ -560,6 +602,16 @@ def run_replications(
         get_task(task).validate_kwargs(task_kwargs)
     resolved = resolve_schedule(schedule)
     resolved_scheduler = resolve_scheduler(scheduler)
+    if trace:
+        # Contact tracing implies the event tier; a traced configuration
+        # is therefore never vector-eligible (the check below sees a
+        # non-None scheduler), and every replication extracts its own
+        # critical path into the summary's per-rep streams.
+        resolved_scheduler = (
+            EventSchedulerSpec(trace=True)
+            if resolved_scheduler is None
+            else _dc_replace(resolved_scheduler, trace=True)
+        )
     batch_runner = spec.batch_runner_for(task)
     # Restricted topologies ride the vector engine when the runner
     # advertises batched neighbor sampling (global direct addressing
@@ -889,4 +941,8 @@ def report_scalars(report: AlgorithmReport) -> dict:
         scalars["task_error_repaired"] = float(report.extras["task_error_repaired"])
     if "sim_time" in report.extras:
         scalars["sim_time"] = float(report.extras["sim_time"])
+    if "critical_path_len" in report.extras:
+        scalars["critical_path_len"] = int(report.extras["critical_path_len"])
+    if "dilation" in report.extras:
+        scalars["dilation"] = float(report.extras["dilation"])
     return scalars

@@ -12,8 +12,13 @@ The simulation stack accounts *what* happened (rounds, messages, bits —
 * :mod:`repro.obs.telemetry` — the :class:`Telemetry` collector that
   every engine threads through (``broadcast(telemetry=)``,
   ``run_replications(telemetry=)``, ``RunSpec.telemetry``);
+* :mod:`repro.obs.trace` — contact-level causal tracing on the event
+  tier: the columnar :class:`ContactTrace` log, critical-path
+  extraction with per-node/per-edge dilation attribution, slack
+  histograms and informed-front timelines (telemetry schema v2);
 * :mod:`repro.obs.sink` — the JSONL export/import/validation layer;
-* :mod:`repro.obs.report` — the ``repro report`` renderer.
+* :mod:`repro.obs.report` — the ``repro report`` renderer (including
+  ``--critical-path``).
 
 Telemetry is strictly opt-in and zero-cost when off: the sequential
 engine's commit path is byte-for-byte the pre-telemetry code (probes
@@ -23,7 +28,7 @@ gates the overhead.
 """
 
 from repro.obs.probes import RoundSeries
-from repro.obs.report import render_report
+from repro.obs.report import render_critical_path, render_report
 from repro.obs.sink import (
     TELEMETRY_SCHEMA_VERSION,
     TelemetrySink,
@@ -32,20 +37,34 @@ from repro.obs.sink import (
     write_jsonl,
 )
 from repro.obs.spans import SpanRecord, SpanRecorder, maybe_span
-from repro.obs.telemetry import RunTelemetry, Telemetry, TelemetryConfig
+from repro.obs.telemetry import (
+    SUPPORTED_SCHEMAS,
+    TELEMETRY_SCHEMA_V2,
+    RunTelemetry,
+    Telemetry,
+    TelemetryConfig,
+)
+from repro.obs.trace import ContactTrace, CriticalPath, path_record, trace_record
 
 __all__ = [
+    "ContactTrace",
+    "CriticalPath",
     "RoundSeries",
     "RunTelemetry",
+    "SUPPORTED_SCHEMAS",
     "SpanRecord",
     "SpanRecorder",
+    "TELEMETRY_SCHEMA_V2",
     "TELEMETRY_SCHEMA_VERSION",
     "Telemetry",
     "TelemetryConfig",
     "TelemetrySink",
     "maybe_span",
+    "path_record",
     "read_jsonl",
+    "render_critical_path",
     "render_report",
+    "trace_record",
     "validate_records",
     "write_jsonl",
 ]

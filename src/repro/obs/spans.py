@@ -20,12 +20,17 @@ from typing import Dict, Iterator, List, Optional, Tuple
 @dataclass
 class SpanRecord:
     """One closed span: where it started (ms since the recorder's epoch),
-    how long it ran, and how deeply it was nested."""
+    how long it ran, how deeply it was nested, and its place in the span
+    tree (``id`` is monotonic in opening order; ``parent_id`` is the
+    enclosing span's id, or ``None`` at the root) — so nested trees
+    survive the JSONL round-trip, not just the flat name list."""
 
     name: str
     start_ms: float
     wall_ms: float
     depth: int
+    id: int = 0
+    parent_id: Optional[int] = None
 
 
 class SpanRecorder:
@@ -34,20 +39,30 @@ class SpanRecorder:
     def __init__(self) -> None:
         self._epoch = perf_counter()
         self._depth = 0
+        self._next_id = 0
+        self._open: List[int] = []
         self.records: List[SpanRecord] = []
 
-    def begin(self, name: str) -> Tuple[str, float, int]:
+    def begin(self, name: str) -> Tuple[str, float, int, int, Optional[int]]:
         """Open a span; returns the token :meth:`end` consumes."""
+        span_id = self._next_id
+        self._next_id += 1
+        parent_id = self._open[-1] if self._open else None
+        self._open.append(span_id)
         self._depth += 1
-        return (name, perf_counter(), self._depth - 1)
+        return (name, perf_counter(), self._depth - 1, span_id, parent_id)
 
-    def end(self, token: Tuple[str, float, int]) -> float:
+    def end(self, token: Tuple[str, float, int, int, Optional[int]]) -> float:
         """Close a span, record it, and return its wall-clock in ms."""
-        name, t0, depth = token
+        name, t0, depth, span_id, parent_id = token
         self._depth -= 1
+        if self._open and self._open[-1] == span_id:
+            self._open.pop()
         wall_ms = (perf_counter() - t0) * 1e3
         self.records.append(
-            SpanRecord(name, (t0 - self._epoch) * 1e3, wall_ms, depth)
+            SpanRecord(
+                name, (t0 - self._epoch) * 1e3, wall_ms, depth, span_id, parent_id
+            )
         )
         return wall_ms
 

@@ -37,8 +37,17 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from repro.obs.probes import RoundSeries, _py
 from repro.obs.spans import SpanRecorder
 
-#: Version stamped into (and checked against) every JSONL export.
+#: Baseline schema version: the record set every export carries.
 TELEMETRY_SCHEMA_VERSION = 1
+
+#: Schema v2 = v1 plus the causal-trace record types (``trace``/``path``,
+#: :mod:`repro.obs.trace`).  An export is stamped v2 only when at least
+#: one run actually recorded a trace, so tracing-off files stay
+#: byte-identical to the v1 exports older tooling expects.
+TELEMETRY_SCHEMA_V2 = 2
+
+#: Every schema version :func:`repro.obs.sink.validate_records` accepts.
+SUPPORTED_SCHEMAS = (TELEMETRY_SCHEMA_VERSION, TELEMETRY_SCHEMA_V2)
 
 
 @dataclass(frozen=True)
@@ -65,6 +74,10 @@ class RunTelemetry:
         self.summary: Dict[str, Any] = {}
         self.phases: Optional[Dict[str, Dict[str, Any]]] = None
         self.events: List[Dict[str, Any]] = []
+        #: Schema v2 causal-trace payloads (``None`` unless the run
+        #: executed with contact tracing on — see :mod:`repro.obs.trace`).
+        self.trace_record: Optional[Dict[str, Any]] = None
+        self.path_record: Optional[Dict[str, Any]] = None
         #: Pluggable per-round samplers ``name -> fn(sim) -> value``;
         #: cleared when the run finishes (closures don't pickle).
         self.probes: Dict[str, Callable] = {}
@@ -200,6 +213,27 @@ class Telemetry:
                     }
                     for e in trace.events
                 ]
+            contacts = report.extras.get("contact_trace")
+            path = report.extras.get("critical_path")
+            if contacts is not None and path is not None:
+                from repro.obs.trace import path_record, trace_record
+
+                # The informed-front timeline prefers the protocol-aware
+                # probe series (round, sim_time, informed) over the
+                # trace's reached-node fallback.
+                front = None
+                if len(run.series):
+                    cols = run.series.to_columns()
+                    if "sim_time" in cols and "informed" in cols:
+                        front = {
+                            "round": list(cols["round"]),
+                            "time": list(cols["sim_time"]),
+                            "informed": list(cols["informed"]),
+                        }
+                run.trace_record = trace_record(contacts)
+                run.path_record = path_record(
+                    contacts, path, rounds=int(report.rounds), front=front
+                )
         if outcome is not None:
             reps = int(outcome.reps)
             run.summary.update(
@@ -229,10 +263,18 @@ class Telemetry:
     # -- export --------------------------------------------------------
 
     def records(self) -> Iterator[Dict[str, Any]]:
-        """Flatten into JSONL records (the documented schema)."""
+        """Flatten into JSONL records (the documented schema).
+
+        The meta header is stamped v2 only when a run carries causal
+        trace records, so tracing-off exports stay byte-identical v1.
+        """
+        traced = any(
+            run.trace_record is not None or run.path_record is not None
+            for run in self.runs
+        )
         yield {
             "type": "meta",
-            "schema": TELEMETRY_SCHEMA_VERSION,
+            "schema": TELEMETRY_SCHEMA_V2 if traced else TELEMETRY_SCHEMA_VERSION,
             "generator": "repro-gossip",
             "probe_every": self.probe_every,
             "series_cap": self.series_cap,
@@ -254,6 +296,8 @@ class Telemetry:
                     "start_ms": round(rec.start_ms, 3),
                     "wall_ms": round(rec.wall_ms, 3),
                     "depth": rec.depth,
+                    "id": rec.id,
+                    "parent_id": rec.parent_id,
                 }
             if len(run.series):
                 yield {
@@ -264,6 +308,10 @@ class Telemetry:
                     "stride": run.series.stride,
                     "columns": run.series.to_columns(),
                 }
+            if run.trace_record is not None:
+                yield {"run": run.run_id, **run.trace_record}
+            if run.path_record is not None:
+                yield {"run": run.run_id, **run.path_record}
             for event in run.events:
                 yield {"type": "event", "run": run.run_id, **event}
 

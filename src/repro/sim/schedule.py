@@ -53,11 +53,18 @@ from repro.sim.topology import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import ContactTrace
     from repro.sim.engine import Round, Simulator
     from repro.sim.network import Network
 
 #: Scheduler tiers selectable by name (``run/sweep --scheduler``).
 SCHEDULER_NAMES = ("round", "event")
+
+#: Default recorded-event cap for :class:`EventScheduler`'s debug queue.
+#: Long event-tier runs used to grow the queue without bound; the capped
+#: queue decimates with the same keep-the-exact-final-row policy as
+#: :class:`~repro.obs.probes.RoundSeries`.
+DEFAULT_EVENTS_CAP = 65536
 
 
 class EventQueue:
@@ -69,13 +76,43 @@ class EventQueue:
     same multiset of events in *any* order drains the same sequence
     (the Hypothesis suite pins this).  Two events with identical keys
     are indistinguishable, so their relative order is moot.
+
+    ``cap`` bounds memory on long runs: past the cap the queue sorts and
+    keeps every second event plus the *exact* latest one (the
+    :class:`~repro.obs.probes.RoundSeries` decimation policy), doubling
+    ``stride`` each time.  A capped queue is a lossy debug log — its
+    drain is no longer insertion-order independent, and causal analysis
+    must not run on it: critical-path extraction
+    (:mod:`repro.obs.trace`) needs every contact and therefore records
+    into its own uncapped :class:`~repro.obs.trace.ContactTrace`, never
+    this queue.  The default ``cap=None`` keeps the historical exact,
+    order-independent behaviour.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, cap: Optional[int] = None) -> None:
         self._heap: List[Tuple[float, int, int, str]] = []
+        self.cap = None if cap is None else max(2, int(cap))
+        self.stride = 1
+        self.decimated = False
 
     def push(self, time: float, dst: int, src: int, kind: str = "push") -> None:
         heapq.heappush(self._heap, (float(time), int(dst), int(src), str(kind)))
+        if self.cap is not None and len(self._heap) > self.cap:
+            self._thin()
+
+    def _thin(self) -> None:
+        """Halve the queue, keeping the exact latest event.
+
+        A sorted list is a valid binary heap, and appending the maximum
+        at the end preserves the heap property, so no re-heapify is
+        needed.
+        """
+        self._heap.sort()
+        tail = self._heap[-1]
+        self._heap = self._heap[:-1][::2]
+        self._heap.append(tail)
+        self.stride *= 2
+        self.decimated = True
 
     def pop(self) -> Tuple[float, int, int, str]:
         return heapq.heappop(self._heap)
@@ -163,7 +200,15 @@ class EventScheduler(Scheduler):
     ``record_events=True`` additionally pushes every delivered contact
     into an :class:`EventQueue` keyed ``(time, dst, src, kind)`` —
     drain it for the globally time-ordered delivery log (debug scale;
-    the hot path never builds per-message Python objects).
+    the hot path never builds per-message Python objects).  The queue
+    is capped at ``events_cap`` entries by default; pass ``None`` for
+    the historical uncapped queue.
+
+    ``contacts`` (a :class:`~repro.obs.trace.ContactTrace`) switches on
+    causal tracing: every declared contact — start, completion, round,
+    kind, delivery — is appended in bulk per commit, feeding
+    critical-path extraction and dilation attribution.  Tracing stays
+    off the hot path entirely when unset.
     """
 
     name = "event"
@@ -175,12 +220,17 @@ class EventScheduler(Scheduler):
         *,
         model: Optional[DelayModel] = None,
         record_events: bool = False,
+        events_cap: Optional[int] = DEFAULT_EVENTS_CAP,
+        contacts: "Optional[ContactTrace]" = None,
     ) -> None:
         self._delay = delay
         self._rng = rng
         self._model = model
         self.record_events = bool(record_events)
-        self.events: Optional[EventQueue] = EventQueue() if record_events else None
+        self.events: Optional[EventQueue] = (
+            EventQueue(cap=events_cap) if record_events else None
+        )
+        self.contacts = contacts
         self._clock: Optional[np.ndarray] = None
         self._uniform: Optional[float] = 0.0  # all clocks equal this, when set
         self._sim_time = 0.0
@@ -213,7 +263,8 @@ class EventScheduler(Scheduler):
         return self._alive_count
 
     def on_commit(self, committed: "Round") -> None:
-        if self._delay.zero and not self.record_events:
+        observing = self.record_events or self.contacts is not None
+        if self._delay.zero and not observing:
             return  # clocks frozen at 0: the zero-latency overlay is free
         ops = [
             op
@@ -227,7 +278,7 @@ class EventScheduler(Scheduler):
         if (
             constant is not None
             and self._uniform is not None
-            and not self.record_events
+            and not observing
             and self._sim.dynamics is None
         ):
             # Uniform fast path: when every alive node initiates exactly
@@ -252,26 +303,38 @@ class EventScheduler(Scheduler):
         srcs = np.concatenate([np.asarray(op.srcs, dtype=np.int64) for op in ops])
         dsts = np.concatenate([np.asarray(op.dsts, dtype=np.int64) for op in ops])
         arrived = np.concatenate([op.arrived for op in ops])
-        complete = self._clock[srcs] + self._delay.delays(srcs, dsts, self._rng)
+        starts = self._clock[srcs]
+        complete = starts + self._delay.delays(srcs, dsts, self._rng)
         np.maximum.at(self._clock, srcs, complete)
         if arrived.any():
             np.maximum.at(self._clock, dsts[arrived], complete[arrived])
         self._sim_time = max(self._sim_time, float(complete.max()))
 
-        if self.record_events:
+        if observing:
             kinds = np.concatenate(
                 [
                     np.full(len(op.srcs), i < len(committed._pushes))
                     for i, op in enumerate(ops)
                 ]
             )
-            for s, d, t, k in zip(
-                srcs[arrived].tolist(),
-                dsts[arrived].tolist(),
-                complete[arrived].tolist(),
-                kinds[arrived].tolist(),
-            ):
-                self.events.push(t, d, s, "push" if k else "pull")
+            if self.contacts is not None:
+                self.contacts.record(
+                    self._sim.metrics.rounds,
+                    srcs,
+                    dsts,
+                    starts,
+                    complete,
+                    arrived,
+                    kinds,
+                )
+            if self.record_events:
+                for s, d, t, k in zip(
+                    srcs[arrived].tolist(),
+                    dsts[arrived].tolist(),
+                    complete[arrived].tolist(),
+                    kinds[arrived].tolist(),
+                ):
+                    self.events.push(t, d, s, "push" if k else "pull")
 
 
 @dataclass(frozen=True)
@@ -281,11 +344,19 @@ class EventSchedulerSpec:
     ``delay=None`` defers to the topology's ``delay=`` annotation, then
     to unit :class:`~repro.sim.topology.ConstantDelay`.  Safe inside a
     :class:`~repro.analysis.runner.RunSpec` and across process pools.
+
+    ``trace=True`` attaches a fresh, uncapped
+    :class:`~repro.obs.trace.ContactTrace` at bind — the scheduler logs
+    every contact for critical-path extraction.  ``events_cap`` bounds
+    the debug :class:`EventQueue` (``record_events=True`` only);
+    ``None`` means uncapped.
     """
 
     name: ClassVar[str] = "event"
     delay: Optional[DelayModel] = None
     record_events: bool = False
+    trace: bool = False
+    events_cap: Optional[int] = DEFAULT_EVENTS_CAP
 
     def resolve_delay(self, topology=None) -> DelayModel:
         """The delay model this spec runs: explicit > topology > unit."""
@@ -306,8 +377,18 @@ class EventSchedulerSpec:
         """
         model = self.resolve_delay(net.topology)
         bound = model.bind(net.n, net.graph, rng)
+        contacts = None
+        if self.trace:
+            from repro.obs.trace import ContactTrace
+
+            contacts = ContactTrace(net.n)
         return EventScheduler(
-            bound, rng, model=model, record_events=self.record_events
+            bound,
+            rng,
+            model=model,
+            record_events=self.record_events,
+            events_cap=self.events_cap,
+            contacts=contacts,
         )
 
     def describe(self) -> str:

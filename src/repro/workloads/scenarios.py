@@ -422,7 +422,9 @@ for _scenario in [
             "2% of the nodes are 10x slower than the rest; logical "
             "round/message counts match the round engine, but the "
             "event clock shows the stragglers stretching completion "
-            "time (the synchronous model hides this tail)."
+            "time (the synchronous model hides this tail).  Rerun with "
+            "--trace to see critical-path attribution name the "
+            "straggler nodes (gated in benchmarks/bench_trace.py)."
         ),
         n=2**11,
         algorithm="push-pull",

@@ -1,0 +1,221 @@
+"""Schema v1 <-> v2 negotiation tests for the telemetry sink.
+
+v1 files (no trace/path records) must stay valid unchanged; v2 files
+carry trace/path records; mixed-version files are rejected — and
+``repro report`` exits 2 on them.  A Hypothesis property pins the v2
+trace record's JSONL round-trip.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cli import main
+from repro.obs import (
+    SUPPORTED_SCHEMAS,
+    TELEMETRY_SCHEMA_V2,
+    TELEMETRY_SCHEMA_VERSION,
+    read_jsonl,
+    validate_records,
+    write_jsonl,
+)
+
+
+def _meta(schema=TELEMETRY_SCHEMA_VERSION, runs=1):
+    return {
+        "type": "meta",
+        "schema": schema,
+        "generator": "repro-gossip",
+        "probe_every": 1,
+        "series_cap": 2048,
+        "runs": runs,
+    }
+
+
+def _run(run_id=0):
+    return {
+        "type": "run",
+        "id": run_id,
+        "config": {"algorithm": "push-pull", "n": 64, "seed": 0},
+        "summary": {"rounds": 5, "success": True},
+        "phases": None,
+    }
+
+
+def _trace(run=0, contacts=2):
+    return {
+        "type": "trace",
+        "run": run,
+        "contacts": contacts,
+        "sim_time": 2.0,
+        "subsampled": False,
+        "columns": {
+            "src": [0, 1][:contacts],
+            "dst": [1, 0][:contacts],
+            "start": [0.0, 1.0][:contacts],
+            "complete": [1.0, 2.0][:contacts],
+            "round": [1, 2][:contacts],
+            "kind": ["push", "pull"][:contacts],
+            "arrived": [True, True][:contacts],
+        },
+    }
+
+
+def _path(run=0):
+    return {
+        "type": "path",
+        "run": run,
+        "length": 1,
+        "sim_time": 2.0,
+        "hops": {"src": [0], "dst": [1], "round": [1], "kind": ["push"],
+                 "start": [0.0], "complete": [2.0], "delay": [2.0],
+                 "contact": [0]},
+        "node_attribution": {"0": 0.5, "1": 0.5},
+        "edge_attribution": {"0->1": 1.0},
+        "slack": {"edges": [], "counts": [], "mean": 0.0, "max": 0.0},
+        "front": {"round": [1], "time": [2.0], "informed": [2]},
+    }
+
+
+class TestSchemaNegotiation:
+    def test_supported_schemas(self):
+        assert SUPPORTED_SCHEMAS == (TELEMETRY_SCHEMA_VERSION, TELEMETRY_SCHEMA_V2)
+
+    def test_v1_accepted_unchanged(self):
+        # A pre-trace v1 file — spans without id/parent_id included.
+        records = [
+            _meta(),
+            _run(),
+            {"type": "span", "run": 0, "name": "work", "start_ms": 0.0,
+             "wall_ms": 1.0, "depth": 0},
+        ]
+        assert validate_records(records) == []
+
+    def test_v2_accepted_with_trace_records(self):
+        records = [_meta(schema=2), _run(), _trace(), _path()]
+        assert validate_records(records) == []
+
+    def test_trace_record_in_v1_file_rejected(self):
+        records = [_meta(schema=1), _run(), _trace()]
+        problems = validate_records(records)
+        assert any("schema-1" in p for p in problems)
+
+    def test_unsupported_schema_rejected(self):
+        problems = validate_records([_meta(schema=3), _run()])
+        assert any("unsupported schema" in p for p in problems)
+
+    def test_mixed_version_file_rejected(self):
+        # Two concatenated exports with different schemas.
+        records = [_meta(schema=1), _run(), _meta(schema=2, runs=1), _run(1),
+                   _trace(run=1), _path(run=1)]
+        problems = validate_records(records)
+        assert any("mixed-version" in p for p in problems)
+
+    def test_duplicate_meta_rejected(self):
+        problems = validate_records([_meta(runs=1), _meta(runs=1), _run()])
+        assert any("duplicate meta" in p for p in problems)
+
+    def test_trace_needs_all_columns(self):
+        bad = _trace()
+        del bad["columns"]["kind"]
+        problems = validate_records([_meta(schema=2), _run(), bad])
+        assert any("trace columns" in p for p in problems)
+
+    def test_ragged_trace_columns_rejected(self):
+        bad = _trace()
+        bad["columns"]["src"] = [0, 1, 2]
+        problems = validate_records([_meta(schema=2), _run(), bad])
+        assert any("ragged trace columns" in p for p in problems)
+
+    def test_path_length_must_match_hops(self):
+        bad = _path()
+        bad["length"] = 7
+        problems = validate_records([_meta(schema=2), _run(), bad])
+        assert any("does not match" in p for p in problems)
+
+    def test_trace_references_known_run(self):
+        problems = validate_records([_meta(schema=2), _run(), _trace(run=9)])
+        assert any("unknown run" in p for p in problems)
+
+    def test_span_id_types_checked(self):
+        records = [
+            _meta(),
+            _run(),
+            {"type": "span", "run": 0, "name": "w", "start_ms": 0.0,
+             "wall_ms": 1.0, "depth": 0, "id": -1, "parent_id": "root"},
+        ]
+        problems = validate_records(records)
+        assert any("span id" in p for p in problems)
+        assert any("parent_id" in p for p in problems)
+
+
+class TestReportExitCodes:
+    def test_report_exits_2_on_mixed_version_file(self, tmp_path, capsys):
+        path = tmp_path / "mixed.jsonl"
+        write_jsonl(
+            [_meta(schema=1), _run(), _meta(schema=2), _run(1), _trace(run=1)],
+            str(path),
+        )
+        assert main(["report", str(path)]) == 2
+        assert "mixed-version" in capsys.readouterr().err
+
+    def test_report_exits_2_on_trace_in_v1(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        write_jsonl([_meta(schema=1), _run(), _trace()], str(path))
+        assert main(["report", str(path)]) == 2
+        assert "schema" in capsys.readouterr().err
+
+    def test_report_renders_valid_v2(self, tmp_path, capsys):
+        path = tmp_path / "ok.jsonl"
+        write_jsonl([_meta(schema=2), _run(), _trace(), _path()], str(path))
+        assert main(["report", str(path)]) == 0
+        assert "schema 2" in capsys.readouterr().out
+
+
+#: Strategy for one v2 trace record with consistent column lengths.
+@st.composite
+def trace_records(draw):
+    m = draw(st.integers(min_value=0, max_value=16))
+    ints = st.integers(min_value=0, max_value=10**6)
+    floats = st.floats(
+        min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+    )
+    col = lambda elems: draw(
+        st.lists(elems, min_size=m, max_size=m)
+    )
+    return {
+        "type": "trace",
+        "run": 0,
+        "contacts": m,
+        "sim_time": draw(floats),
+        "subsampled": draw(st.booleans()),
+        "columns": {
+            "src": col(ints),
+            "dst": col(ints),
+            "start": col(floats),
+            "complete": col(floats),
+            "round": col(ints),
+            "kind": col(st.sampled_from(["push", "pull"])),
+            "arrived": col(st.booleans()),
+        },
+    }
+
+
+class TestV2RoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(rec=trace_records())
+    def test_trace_record_jsonl_roundtrip(self, rec, tmp_path_factory):
+        """write -> read -> write is the identity for v2 trace records
+        (and the file validates at every step)."""
+        path = str(tmp_path_factory.mktemp("rt") / "t.jsonl")
+        records = [_meta(schema=2), _run(), rec]
+        write_jsonl(records, path)
+        back = read_jsonl(path)
+        assert validate_records(back) == []
+        assert back[2] == rec
+        # Idempotence: a second round-trip serialises identically.
+        line1 = json.dumps(back[2], sort_keys=True)
+        path2 = str(tmp_path_factory.mktemp("rt2") / "t.jsonl")
+        write_jsonl(back, path2)
+        assert json.dumps(read_jsonl(path2)[2], sort_keys=True) == line1
