@@ -220,6 +220,10 @@ class ReplicationSummary:
     )
     successes: int = 0
     reps: int = 0
+    #: Run-level annotations that are not per-replication streams — e.g.
+    #: ``engine_fallback`` when ``engine="auto"`` demoted an event-tier
+    #: request to the sequential reset engine.
+    extras: Dict[str, object] = field(default_factory=dict)
 
     def observe(
         self,
@@ -286,6 +290,7 @@ class ReplicationSummary:
         self.successes += other.successes
         for name, stream in other.metrics.items():
             self.metrics.setdefault(name, StreamingSummary()).merge(stream)
+        self.extras.update(other.extras)
         return self
 
     @property

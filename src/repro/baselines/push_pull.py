@@ -117,6 +117,7 @@ def batched_push_pull(
     max_rounds: "int | None" = None,
     graph=None,
     telemetry=None,
+    overlay=None,
 ) -> BatchOutcome:
     """PUSH-PULL over its full w.h.p. schedule, ``reps`` replications at
     once in ``(reps, n)`` arrays (see :mod:`repro.sim.batch`).
@@ -140,6 +141,13 @@ def batched_push_pull(
     informed fraction and cumulative messages/bits over all replications
     in the chunk, plus a forced final sample so series totals match the
     outcome exactly.
+
+    ``overlay`` (a :class:`repro.sim.schedule.BatchClockOverlay`, or
+    ``None``) is the event tier: every round's contacts — one per node,
+    serving both the push and the pull lane — fold into the per-rep
+    clock matrix, and the outcome carries per-rep ``sim_time``.  The
+    overlay draws only from its own delay streams, so the batch's
+    rounds/messages/bits are bit-identical with it on or off.
     """
     if reps < 1:
         raise ValueError(f"reps must be positive, got {reps}")
@@ -148,8 +156,11 @@ def batched_push_pull(
     informed = np.zeros((reps, n), dtype=bool)
     informed[np.arange(reps), sources] = True
 
+    # intp offsets: bincount and fancy indexing cast narrower index
+    # arrays per use, so lean dtypes lose here.
     row_offsets = (np.arange(reps, dtype=np.int64) * n)[:, None]
     all_nodes = np.arange(n, dtype=np.int64)
+    all_rows = np.arange(reps, dtype=np.int64)
     messages = np.zeros(reps, dtype=np.int64)
     max_fanin = np.zeros(reps, dtype=np.int64)
     completion = np.full(reps, -1, dtype=np.int64)
@@ -172,41 +183,52 @@ def batched_push_pull(
         if valid is not None:
             target_informed = target_informed & valid
         target_informed = target_informed.reshape(reps, n)
-        pushers = informed.copy()
         pull_hits = ~informed & target_informed  # answered pulls, per puller
 
         # Metrics: pushes + answered pulls are the content messages (a
         # void -1 push is still charged); every arrived contact counts
         # toward its target's fan-in.
-        pushes = pushers.sum(axis=1)
+        pushes = informed.sum(axis=1)
         responses = pull_hits.sum(axis=1)
         messages += pushes + responses
         np.maximum(max_fanin, per_rep_max_fanin(arrived, reps, n), out=max_fanin)
 
-        # Deliveries.
-        deliver = pushers.ravel() if valid is None else pushers.ravel() & valid
+        # Deliveries.  The round-start informed set is read out into the
+        # delivery index array before the scatter below mutates it, so
+        # no snapshot copy is needed.
+        deliver = informed.ravel() if valid is None else informed.ravel() & valid
         flat_informed[flat_t[deliver]] = True
         informed |= pull_hits
+        if overlay is not None:
+            # Every node initiates one contact (push or pull lane); a
+            # void -1 target occupies its caller without delivering.
+            overlay.full_round(all_rows, targets, valid)
 
         done = informed.all(axis=1)
         completion[(completion < 0) & done] = step + 1
 
         if telemetry is not None and (step + 1) % telemetry.probe_every == 0:
-            telemetry.series.append(
+            row = dict(
                 round=step + 1,
                 informed=float(informed.mean()),
                 messages=int(messages.sum()),
                 bits=int(messages.sum()) * int(message_bits),
             )
+            if overlay is not None:
+                row["sim_time"] = float(overlay.sim_time.max())
+            telemetry.series.append(**row)
 
     informed_counts = informed.sum(axis=1)
     if telemetry is not None:
-        telemetry.series.force(
+        row = dict(
             round=cap,
             informed=float(informed.mean()),
             messages=int(messages.sum()),
             bits=int(messages.sum()) * int(message_bits),
         )
+        if overlay is not None:
+            row["sim_time"] = float(overlay.sim_time.max())
+        telemetry.series.force(**row)
     return BatchOutcome(
         algorithm="push-pull",
         n=n,
@@ -217,6 +239,7 @@ def batched_push_pull(
         max_fanin=max_fanin,
         informed_counts=informed_counts,
         success=informed_counts == n,
+        sim_time=None if overlay is None else overlay.sim_time.copy(),
     )
 
 
@@ -247,3 +270,8 @@ batched_push_pull.supports_topology = True
 #: run_replications hands runners that advertise telemetry support the
 #: chunk's RunTelemetry handle for per-step series sampling.
 batched_push_pull.supports_telemetry = True
+
+#: run_replications hands runners that advertise overlay support the
+#: event tier's batched clock overlay (``scheduler=event`` stays on the
+#: vector engine instead of falling back to the sequential reset path).
+batched_push_pull.supports_overlay = True

@@ -357,6 +357,19 @@ def _cmd_run_replications(args: argparse.Namespace) -> int:
                 f"dilation mean {row.get('dilation_mean', 0)} "
                 f"(render with `repro report --critical-path {args.trace}`)"
             )
+    if args.json:
+        payload = {
+            "algorithm": summary.algorithm,
+            "task": summary.task,
+            "n": summary.n,
+            "engine": summary.engine,
+            "reps": summary.reps,
+            "summary": summary.row(),
+            "extras": summary.extras,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        print(f"wrote replication summary to {args.json}")
     _write_telemetry(collector, args.telemetry)
     _write_trace(collector, args)
     return 0 if summary.success_rate > 0 else 1
@@ -439,6 +452,24 @@ def _cmd_run_checked(args: argparse.Namespace) -> int:
             f"revived={report.extras.get('dyn_revived', 0)} "
             f"messages lost={report.extras.get('dyn_messages_lost', 0)}"
         )
+    if args.json:
+        from repro.core.broadcast import report_scalars
+
+        payload = {
+            "algorithm": args.algorithm,
+            "task": args.task,
+            "n": args.n,
+            "seed": args.seed,
+            **report_scalars(report),
+            "extras": {
+                k: v
+                for k, v in report.extras.items()
+                if isinstance(v, (str, int, float, bool))
+            },
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        print(f"wrote report to {args.json}")
     # Same exemption as `suite`: a run whose source crashed mid-broadcast
     # legitimately informs nobody — that is the model, not a failure.
     ok = report.informed_fraction > 0 or not report.extras.get("source_alive", True)
@@ -557,7 +588,13 @@ def _cmd_bench_check(args: argparse.Namespace) -> int:
 
 
 def _cmd_scenario(args: argparse.Namespace) -> int:
-    report = run_scenario(args.name, seed=args.seed)
+    # Same clean-config-error contract as `run`/`sweep`: a preset whose
+    # configuration the current overrides make unrunnable is user input.
+    try:
+        report = run_scenario(args.name, seed=args.seed)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(SCENARIOS[args.name].description)
     print(report)
     print()
@@ -566,11 +603,15 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_suite_replicated(args: argparse.Namespace) -> int:
-    cells = replicate_suite(
-        args.names or None,
-        reps=args.reps,
-        workers=args.workers,
-    )
+    try:
+        cells = replicate_suite(
+            args.names or None,
+            reps=args.reps,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         payload = [
             {"scenario": cell.scenario, "summary": cell.summary.row()}
@@ -596,11 +637,15 @@ def _cmd_suite(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return _cmd_suite_replicated(args)
-    results = run_suite(
-        args.names or None,
-        seeds=range(args.seeds),
-        workers=args.workers,
-    )
+    try:
+        results = run_suite(
+            args.names or None,
+            seeds=range(args.seeds),
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.json:
         payload = [
             {"scenario": cell.scenario, "record": asdict(cell.record)}
@@ -782,6 +827,14 @@ def build_parser() -> argparse.ArgumentParser:
         "record every contact, extract the critical path to sim_time, "
         "and export schema-v2 telemetry (trace/path records) to PATH "
         "(render with `repro report --critical-path PATH`)",
+    )
+    p_run.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="dump the run's figures as JSON to PATH for CI artifacts: "
+        "the aggregate summary row with --reps > 1, the single report's "
+        "scalars otherwise",
     )
     p_run.set_defaults(func=_cmd_run)
 

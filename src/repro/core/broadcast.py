@@ -24,6 +24,7 @@ runs it through the algorithm's registered task transport::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import replace as _dc_replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
@@ -43,7 +44,11 @@ from repro.registry import (
 from repro.obs.spans import maybe_span
 from repro.sim.batch import DEFAULT_BATCH_ELEMS, batch_size
 from repro.sim.dynamics import AdversitySchedule, resolve_schedule
-from repro.sim.schedule import EventSchedulerSpec, resolve_scheduler
+from repro.sim.schedule import (
+    EventSchedulerSpec,
+    make_batch_overlay,
+    resolve_scheduler,
+)
 from repro.sim.topology import ADDRESSING_MODES, Topology, resolve_topology
 from repro.sim.engine import BufferPool, Simulator
 from repro.sim.failures import apply_pattern
@@ -58,6 +63,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 #: Re-exported so ``from repro import BroadcastResult`` reads naturally.
 BroadcastResult = AlgorithmReport
+
+_log = logging.getLogger(__name__)
 
 __all__ = [
     "BroadcastResult",
@@ -545,7 +552,13 @@ def run_replications(
         zero-adversity only.  Statistically equivalent to (not
         stream-identical with) the sequential engines; chunked so no
         work array exceeds ``batch_elems`` elements regardless of
-        ``reps``.
+        ``reps``.  ``scheduler=`` rides along through the batched clock
+        overlay (:class:`repro.sim.schedule.BatchClockOverlay`) when the
+        runner folds contacts and the delay model has a batched sampler
+        — the summary then carries per-rep ``sim_time`` streams;
+        tracing, event recording, and unbatchable delay models fall back
+        to the sequential tier (``engine="auto"``) or raise
+        (``engine="vector"``).
     ``"rebuild"``
         The historical loop — a fresh :func:`broadcast` per seed.  Kept
         as the baseline the scale benchmarks measure against.
@@ -620,26 +633,62 @@ def run_replications(
         getattr(batch_runner, "supports_topology", False)
         and direct_addressing == "global"
     )
-    # The (R, n) executors have no per-node clock overlay and assume at
-    # least one other node to dial; the event tier and single-node runs
-    # fall back to the sequential reset engine.
+    # The event tier rides the vector engine through the batched clock
+    # overlay (:class:`repro.sim.schedule.BatchClockOverlay`) when the
+    # runner folds its contacts and the delay model has a batched
+    # sampler; tracing and event recording stay sequential.
+    scheduler_reason = None
+    if resolved_scheduler is not None:
+        if not getattr(batch_runner, "supports_overlay", False):
+            scheduler_reason = (
+                f"the batch runner for {algorithm!r} (task {task!r}) does "
+                "not fold contacts into the batched clock overlay"
+            )
+        elif resolved_scheduler.trace or resolved_scheduler.record_events:
+            scheduler_reason = (
+                "contact tracing / event recording needs the sequential "
+                "event scheduler"
+            )
+        else:
+            delay_model = resolved_scheduler.resolve_delay(resolved_topology)
+            if not getattr(delay_model, "batchable", False):
+                scheduler_reason = (
+                    f"delay model {delay_model.name!r} has no batched "
+                    "sampler (DelayModel.bind_batch)"
+                )
+    # The (R, n) executors assume at least one other node to dial;
+    # single-node runs fall back to the sequential reset engine.
     vector_ok = (
         batch_runner is not None
         and resolved is None
-        and resolved_scheduler is None
+        and scheduler_reason is None
         and not failures
         and n > 1
         and topology_ok
     )
     if engine == "vector" and not vector_ok:
+        if resolved_scheduler is not None and scheduler_reason is not None:
+            raise ValueError(
+                f"vector engine unavailable with scheduler=event: "
+                f"{scheduler_reason}; run it on the sequential tier with "
+                "engine='reset'"
+            )
         raise ValueError(
             f"vector engine unavailable for {algorithm!r} (task {task!r}) "
             "here: it needs a registered batch runner for the task and a "
-            "zero-adversity, zero-failure, round-scheduler configuration "
-            "with n >= 2 on the complete graph (or a topology-capable "
-            "runner under global addressing)"
+            "zero-adversity, zero-failure configuration with n >= 2 on "
+            "the complete graph (or a topology-capable runner under "
+            "global addressing)"
         )
+    fallback_reason = None
     if engine == "auto":
+        if not vector_ok and resolved_scheduler is not None and scheduler_reason:
+            fallback_reason = scheduler_reason
+            _log.info(
+                "engine=auto: falling back to the sequential reset engine "
+                "(%s)",
+                scheduler_reason,
+            )
         engine = "vector" if vector_ok else "reset"
 
     if workers is not None:
@@ -650,7 +699,7 @@ def run_replications(
                 "workers= shards the replications across summaries; "
                 "per-replication consume streaming is only available serially"
             )
-        return _run_sharded(
+        merged = _run_sharded(
             n=n,
             algorithm=algorithm,
             reps=reps,
@@ -674,8 +723,13 @@ def run_replications(
             telemetry=telemetry,
             algorithm_kwargs=algorithm_kwargs,
         )
+        if fallback_reason is not None:
+            merged.extras["engine_fallback"] = fallback_reason
+        return merged
 
     summary = ReplicationSummary(algorithm=algorithm, n=n, engine=engine, task=task)
+    if fallback_reason is not None:
+        summary.extras["engine_fallback"] = fallback_reason
 
     def feed(rep: int, seed: Optional[int], scalars: dict) -> None:
         summary.observe(**scalars)
@@ -713,6 +767,20 @@ def run_replications(
             chunk_kwargs = dict(runner_kwargs)
             if graph is not None:
                 chunk_kwargs["graph"] = graph
+            if resolved_scheduler is not None:
+                # One overlay per chunk: rep i's delay stream is derived
+                # from base_seed + (global rep index) exactly as the
+                # sequential bind's, so the chunk plan (and the worker
+                # count) never moves a replication's draws.
+                chunk_kwargs["overlay"] = make_batch_overlay(
+                    resolved_scheduler,
+                    resolved_topology,
+                    n,
+                    take,
+                    graph,
+                    base_seed=base_seed,
+                    first_rep=_seed_offset + done,
+                )
             tel_run = None
             if telemetry is not None:
                 tel_run = telemetry.begin_run(

@@ -244,6 +244,12 @@ class Telemetry:
                 max_fanin=int(outcome.max_fanin.max()),
                 success_rate=float(outcome.success.mean()),
             )
+            sim_time = getattr(outcome, "sim_time", None)
+            if sim_time is not None:
+                run.summary.update(
+                    sim_time_mean=float(sim_time.mean()),
+                    sim_time_max=float(sim_time.max()),
+                )
         run.probes = {}
         return run
 

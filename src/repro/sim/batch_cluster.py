@@ -174,6 +174,7 @@ class ClusterBatch:
         message_bits: int = 256,
         graph: Optional[ContactGraph] = None,
         telemetry=None,
+        overlay=None,
     ) -> None:
         if reps < 1:
             raise ValueError(f"reps must be positive, got {reps}")
@@ -181,6 +182,14 @@ class ClusterBatch:
         self.reps = int(reps)
         self.rng = rng
         self.graph = graph
+        #: Optional :class:`repro.sim.schedule.BatchClockOverlay` — the
+        #: event tier for this batch.  Every primitive that commits a
+        #: round folds its contacts into the per-rep clock matrix; idle
+        #: rounds take no simulated time, mirroring the sequential
+        #: :class:`~repro.sim.schedule.EventScheduler`.  The overlay
+        #: never draws from ``rng``, so rounds/messages/bits are
+        #: bit-identical with it on or off.
+        self.overlay = overlay
         #: Optional :class:`repro.obs.telemetry.RunTelemetry` chunk
         #: handle; when set, every committed round offers a batch sample
         #: (``None`` keeps the accounting paths probe-free).
@@ -261,10 +270,24 @@ class ClusterBatch:
         self._charge(act, counts, counts * int(bits_per), arrived, fan=fan)
 
     def idle_round(self, act) -> None:
-        """A round in which the given replications do nothing (counted)."""
+        """A round in which the given replications do nothing (counted).
+
+        No clock fold: an idle round takes no simulated time on the
+        event tier (the sequential scheduler's empty-ops rule).
+        """
         self.rounds[act] += 1
         if self.telemetry is not None:
             self._probe()
+
+    def _fold_clock(self, g, rows, srcs, dsts, arrived=None) -> None:
+        """Fold one committed round's contacts into the event overlay.
+
+        ``rows`` are local act-block rep indices (``g`` maps them to
+        batch rows); ``srcs``/``dsts`` are node columns.  One call per
+        charged round, so all of a round's contacts share the pre-round
+        clock snapshot — the sequential scheduler's concurrency rule.
+        """
+        self.overlay.fold(np.asarray(g)[rows], srcs, dsts, arrived)
 
     def _probe(self) -> None:
         """Offer a batch sample every ``probe_every`` committed rounds."""
@@ -294,6 +317,8 @@ class ClusterBatch:
             "messages": int(self.messages.sum()),
             "bits": int(self.bits.sum()),
         }
+        if self.overlay is not None:
+            row["sim_time"] = float(self.overlay.sim_time.max())
         if force:
             self.telemetry.series.force(**row)
         else:
@@ -451,6 +476,8 @@ class ClusterBatch:
             coin = self.rng.random(len(lr)) < p
             self.active[g[lr[coin]], lc[coin]] = True
         self._member_round(act, m.r[m.foll], self.sizes.flag_bits, m.seg[m.foll])
+        if self.overlay is not None:  # followers pull from their leader
+            self._fold_clock(g, m.r[m.foll], m.c[m.foll], m.ldr[m.foll])
 
     def cluster_size(self, act) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """ClusterSize (two rounds); returns ``(rows, cols, sizes)`` —
@@ -462,7 +489,12 @@ class ClusterBatch:
         fan = m.size_fan(len(g), self.n)
         n_foll = m.n_foll(len(g))
         self._charge(act, n_foll, n_foll * self.sizes.id_bits, fan=fan)  # ID push
+        if self.overlay is not None:
+            fr, fc, fl = m.r[m.foll], m.c[m.foll], m.ldr[m.foll]
+            self._fold_clock(g, fr, fc, fl)  # ID push round
         self._charge(act, n_foll, n_foll * self.sizes.count_bits, fan=fan)  # count pull
+        if self.overlay is not None:
+            self._fold_clock(g, fr, fc, fl)  # count pull round
         return m.r[m.lead], m.c[m.lead], counts[m.flat[m.lead]]
 
     def leader_sizes(self, act) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -485,7 +517,12 @@ class ClusterBatch:
         fan = m.size_fan(len(g), self.n)
         n_foll = m.n_foll(len(g))
         self._charge(act, n_foll, n_foll * self.sizes.id_bits, fan=fan)
+        if self.overlay is not None:
+            fr, fc, fl = m.r[m.foll], m.c[m.foll], m.ldr[m.foll]
+            self._fold_clock(g, fr, fc, fl)
         self._charge(act, n_foll, n_foll * self.sizes.id_bits, fan=fan)
+        if self.overlay is not None:
+            self._fold_clock(g, fr, fc, fl)
         doomed = counts[m.seg] < s
         if doomed.any():
             self.follow[g[m.r[doomed]], m.c[doomed]] = UNCLUSTERED
@@ -513,6 +550,9 @@ class ClusterBatch:
         fan = m.size_fan(A, self.n)
         n_foll = m.n_foll(A)
         self._charge(act, n_foll, n_foll * self.sizes.id_bits, fan=fan)  # ID push
+        if self.overlay is not None:  # pre-split membership, both rounds
+            fr, fc, fl = m.r[m.foll], m.c[m.foll], m.ldr[m.foll]
+            self._fold_clock(g, fr, fc, fl)
 
         k_member = np.maximum(counts[seg] // int(s), 1)  # own cluster's k
         sel = np.flatnonzero(k_member > 1)
@@ -525,6 +565,8 @@ class ClusterBatch:
         self._charge(
             act, n_foll, (n_foll + extra) * self.sizes.id_bits, fan=fan
         )
+        if self.overlay is not None:
+            self._fold_clock(g, fr, fc, fl)
 
         keep = k_member[m.lead] == 1  # leaders of unsplit clusters
         lead_u = m.lead[keep]
@@ -604,6 +646,8 @@ class ClusterBatch:
             dst = (s_r * n + targets)[valid]
             vals, d_r = s_ldr[valid], s_r[valid]
         self._charge(act, n_send, n_send * self.sizes.id_bits, dst)
+        if self.overlay is not None:  # void -1 targets never fold the dst
+            self._fold_clock(g, s_r, s_c, targets)
         if reduce == "min":  # each member pushes its cluster's ID
             d1, v1 = self._receive_min_pairs(
                 dst, vals, self.uid[g[d_r], vals], A * n
@@ -626,6 +670,10 @@ class ClusterBatch:
         rel_vals = v1[cl_w[~own]]
         n_rel = np.bincount(rel_r, minlength=A)
         self._charge(act, n_rel, n_rel * self.sizes.id_bits, rel_dst)
+        if self.overlay is not None:  # relayers contact their own leader
+            self._fold_clock(
+                g, rel_r, self._rowcol(d_cl)[1][~own], F_cl[~own]
+            )
         if reduce == "min":
             d2, v2 = self._receive_min_pairs(
                 rel_dst, rel_vals, self.uid[g[rel_r], rel_vals], A * n
@@ -692,6 +740,8 @@ class ClusterBatch:
         rm, cm, sm = m.r[mw], m.c[mw], m.seg[mw]
         pull = ~m.is_l[mw]
         self._member_round(act, rm[pull], self.sizes.id_bits, sm[pull])
+        if self.overlay is not None:
+            self._fold_clock(g, rm[pull], cm[pull], m.ldr[mw][pull])
         self.follow[g[rm], cm] = target[sm]
         self.active[g[m_r], m_c] = False
         self._follow_ver += 1
@@ -710,12 +760,16 @@ class ClusterBatch:
         arrived = m.seg[send]
         n_send = np.bincount(m.r[send], minlength=A)
         self._charge(act, n_send, n_send * self.sizes.rumor_bits, arrived)
+        if self.overlay is not None:
+            self._fold_clock(g, m.r[send], m.c[send], m.ldr[send])
         flat_inf[arrived] = True
 
         # All followers pull; leaders of informed clusters answer.
         responds = m.foll & flat_inf[m.seg]
         n_resp = np.bincount(m.r[responds], minlength=A)
         self._charge(act, n_resp, n_resp * self.sizes.rumor_bits, m.seg[m.foll])
+        if self.overlay is not None:
+            self._fold_clock(g, m.r[m.foll], m.c[m.foll], m.ldr[m.foll])
         flat_inf[m.flat[responds]] = True
         return informed
 
@@ -746,6 +800,8 @@ class ClusterBatch:
             valid = targets >= 0
             dst, vals = (s_r * n + targets)[valid], s_ldr[valid]
         self._charge(act, n_send, n_send * self.sizes.id_bits, dst)
+        if self.overlay is not None:
+            self._fold_clock(g, s_r, s_c, targets)
         # Only unclustered receivers consult the digest (to join), so the
         # reduction runs over their deliveries alone; per receiver the
         # delivery multiset is unchanged by the filter.
@@ -774,6 +830,8 @@ class ClusterBatch:
         n_resp = np.bincount(p_r[valid][responds], minlength=A)
         # Pull requests are free; every arrived request counts as fan-in.
         self._charge(act, n_resp, n_resp * self.sizes.id_bits, t_flat)
+        if self.overlay is not None:
+            self._fold_clock(g, p_r, p_c, targets)
         joined = uflat[valid][responds]
         if len(joined):
             jr, jc = self._rowcol(joined)
@@ -969,7 +1027,7 @@ def _outcome(name: str, state: ClusterBatch, informed: np.ndarray) -> BatchOutco
     if state.telemetry is not None:
         # Forced final sample (with the informed fraction, now known), so
         # the series' last cumulative counters equal the outcome exactly.
-        state.telemetry.series.force(
+        row = dict(
             round=int(state.rounds.max()),
             clusters=float(
                 (state.follow == state._cols[None, :]).sum() / state.reps
@@ -978,6 +1036,9 @@ def _outcome(name: str, state: ClusterBatch, informed: np.ndarray) -> BatchOutco
             messages=int(state.messages.sum()),
             bits=int(state.bits.sum()),
         )
+        if state.overlay is not None:
+            row["sim_time"] = float(state.overlay.sim_time.max())
+        state.telemetry.series.force(**row)
     return BatchOutcome(
         algorithm=name,
         n=state.n,
@@ -991,6 +1052,7 @@ def _outcome(name: str, state: ClusterBatch, informed: np.ndarray) -> BatchOutco
         max_fanin=state.max_fanin,
         informed_counts=counts,
         success=counts == state.n,
+        sim_time=None if state.overlay is None else state.overlay.sim_time.copy(),
     )
 
 
@@ -1018,13 +1080,20 @@ def batched_cluster1(
     profile: "Profile | str" = LAPTOP,
     graph: Optional[ContactGraph] = None,
     telemetry=None,
+    overlay=None,
 ) -> BatchOutcome:
     """Cluster1 (Algorithm 1), ``reps`` replications at once."""
     if isinstance(profile, str):
         profile = get_profile(profile)
     p = params if params is not None else profile.cluster1(n)
     state = ClusterBatch(
-        n, reps, rng, message_bits=message_bits, graph=graph, telemetry=telemetry
+        n,
+        reps,
+        rng,
+        message_bits=message_bits,
+        graph=graph,
+        telemetry=telemetry,
+        overlay=overlay,
     )
     sources = resolve_sources(source, reps, n, rng)
     with maybe_span(telemetry, "grow"):
@@ -1058,6 +1127,7 @@ def batched_cluster2(
     profile: "Profile | str" = LAPTOP,
     graph: Optional[ContactGraph] = None,
     telemetry=None,
+    overlay=None,
 ) -> BatchOutcome:
     """Cluster2 (Algorithm 2, the paper's Theorem 2 algorithm), ``reps``
     replications at once."""
@@ -1065,7 +1135,13 @@ def batched_cluster2(
         profile = get_profile(profile)
     p = params if params is not None else profile.cluster2(n)
     state = ClusterBatch(
-        n, reps, rng, message_bits=message_bits, graph=graph, telemetry=telemetry
+        n,
+        reps,
+        rng,
+        message_bits=message_bits,
+        graph=graph,
+        telemetry=telemetry,
+        overlay=overlay,
     )
     sources = resolve_sources(source, reps, n, rng)
     with maybe_span(telemetry, "grow"):
@@ -1100,6 +1176,8 @@ def batched_cluster2(
 batched_cluster1.uses_profile = True
 batched_cluster1.supports_topology = True
 batched_cluster1.supports_telemetry = True
+batched_cluster1.supports_overlay = True
 batched_cluster2.uses_profile = True
 batched_cluster2.supports_topology = True
 batched_cluster2.supports_telemetry = True
+batched_cluster2.supports_overlay = True

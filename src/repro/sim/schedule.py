@@ -45,8 +45,10 @@ from typing import TYPE_CHECKING, ClassVar, List, Optional, Tuple
 
 import numpy as np
 
+from repro.sim.rng import derive_seed, make_rng
 from repro.sim.topology import (
     DELAY_MODELS,
+    BatchBoundDelay,
     BoundDelay,
     ConstantDelay,
     DelayModel,
@@ -222,10 +224,15 @@ class EventScheduler(Scheduler):
         record_events: bool = False,
         events_cap: Optional[int] = DEFAULT_EVENTS_CAP,
         contacts: "Optional[ContactTrace]" = None,
+        horizon: Optional[int] = None,
     ) -> None:
         self._delay = delay
         self._rng = rng
         self._model = model
+        #: Graph-distance horizon (``Topology.diameter_hint``) of the
+        #: bound network, when the topology offers one — the expected
+        #: contact-depth of the run, used to size the debug queue.
+        self.horizon = horizon
         self.record_events = bool(record_events)
         self.events: Optional[EventQueue] = (
             EventQueue(cap=events_cap) if record_events else None
@@ -337,6 +344,232 @@ class EventScheduler(Scheduler):
                     self.events.push(t, d, s, "push" if k else "pull")
 
 
+class BatchClockOverlay:
+    """The event tier for the batched ``(R, n)`` vector executors.
+
+    One instance carries ``reps`` independent per-node clock rows — the
+    batched counterpart of :class:`EventScheduler`, with the same
+    semantics applied per row: a contact ``u -> w`` in rep ``r`` starts
+    at ``clock[r, u]``, completes ``delay(r, u, w)`` later, advances the
+    initiator's clock, folds a *delivered* contact into the receiver's
+    clock, and ``sim_time[r]`` is the latest completion rep ``r`` has
+    seen.  Each bulk fold is a handful of ``np.maximum.at`` calls over
+    all reps at once, so the timing overlay runs at scale-tier speed.
+
+    The overlay draws only from its own delay streams (bind-time fabric
+    from per-rep ``"delay"`` streams, per-message jitter from a shared
+    batch stream), never from the runner's algorithm coins — so a vector
+    run's rounds/messages/bits are bit-identical with the overlay on or
+    off, and ``sim_time`` is statistically identical to a sequential
+    :class:`EventScheduler` run at the same per-rep seed (exactly
+    identical for zero latency, where every clock stays 0).
+
+    Fast paths mirror the sequential tier: zero latency is free, and
+    full-participation rounds under a scalar constant delay advance one
+    scalar per rep while the rows stay uniform.
+    """
+
+    name = "event"
+
+    def __init__(
+        self,
+        delay: BatchBoundDelay,
+        rng: np.random.Generator,
+        reps: int,
+        n: int,
+        *,
+        model: Optional[DelayModel] = None,
+    ) -> None:
+        self._delay = delay
+        self._rng = rng
+        self.reps = int(reps)
+        self.n = int(n)
+        self._model = model
+        self._clock: Optional[np.ndarray] = None  # (reps, n), lazily built
+        # Per-rep uniform scalar while only constant-delay full rounds
+        # have occurred (every clock in row r equals _uniform[r]).
+        self._uniform: Optional[np.ndarray] = np.zeros(self.reps, dtype=np.float64)
+
+    @property
+    def zero(self) -> bool:
+        """True when every contact is instantaneous (overlay is free)."""
+        return self._delay.zero
+
+    @property
+    def sim_time(self) -> np.ndarray:
+        """Per-rep simulated wall-clock, ``(reps,)`` float64.
+
+        Computed on read: every completion folds into its initiator's
+        clock and clocks only ever grow, so the latest completion a rep
+        has seen is exactly the row maximum of its clock — no per-round
+        tracking needed on the hot path.
+        """
+        if self._uniform is not None:
+            return self._uniform.copy()
+        return self._clock.max(axis=1)
+
+    def describe(self) -> str:
+        if self._model is not None:
+            return f"event({self._model.describe()})"
+        return "event"
+
+    def _materialise(self) -> None:
+        if self._clock is None:
+            self._clock = np.zeros((self.reps, self.n), dtype=np.float64)
+        if self._uniform is not None:
+            lifted = self._uniform != 0.0
+            if lifted.any():
+                self._clock[lifted] = self._uniform[lifted, None]
+            self._uniform = None
+
+    def full_round(
+        self,
+        act: np.ndarray,
+        targets: np.ndarray,
+        arrived: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold one full-participation round for the rep rows ``act``.
+
+        Every node of every active row initiates exactly one contact:
+        node ``j`` of row ``act[i]`` dials ``targets[i, j]`` (``-1`` =
+        nobody to call).  ``arrived`` optionally masks deliveries (same
+        shape as ``targets`` or raveled); undelivered contacts still
+        occupy the initiator and count toward ``sim_time``, exactly as
+        on the sequential tier.  Rows stay mutually uniform under a
+        constant delay, so this path advances one scalar per row.
+        """
+        if self._delay.zero:
+            return
+        act = np.asarray(act, dtype=np.int64)
+        if len(act) == 0:
+            return
+        constant = self._delay.constant
+        if constant is not None and self._uniform is not None:
+            # Every node initiates, so under a constant delay every
+            # clock in the row advances by the same amount whether or
+            # not its contact delivered — the rows stay uniform.
+            self._uniform[act] += constant
+            return
+        # General path, kept two-dimensional: every (row, node) initiates
+        # exactly once, so the initiator fold is an elementwise row
+        # maximum and only the receiver fold needs a scatter-max — run
+        # per row so the scatter stays cache-resident and never builds
+        # (A*n,) key arrays (the sparse :meth:`fold` is for the cluster
+        # tier's irregular contact sets, not this hot path).
+        self._materialise()
+        act = np.asarray(act, dtype=np.int64)
+        # One up-front intp conversion: every scatter/take below would
+        # otherwise cast a lean executor index dtype per use.
+        targets = np.asarray(targets, dtype=np.int64).reshape(len(act), self.n)
+        # ``act`` comes sorted and unique (flatnonzero order), so a full
+        # count means it IS arange(reps) and the clock rows can be used
+        # as views — no gather/scatter copies on the hot path.
+        whole = len(act) == self.reps and (
+            self.reps == 0 or (act[0] == 0 and act[-1] == self.reps - 1)
+        )
+        clock_rows = self._clock if whole else self._clock[act]
+        complete = self._delay.complete_full(clock_rows, act, targets, self._rng)
+        # Initiator fold first: completions never precede their own
+        # starts, so it is a plain row assignment — then the receiver
+        # scatter-max folds deliveries on top (``complete`` is its own
+        # buffer, so the scatter never corrupts its source values).
+        if whole:
+            self._clock[...] = complete
+        else:
+            self._clock[act] = complete
+        deliver = None
+        if arrived is not None:
+            deliver = (targets >= 0) & np.asarray(arrived, dtype=bool).reshape(
+                targets.shape
+            )
+        elif not self._delay.no_void and targets.min() < 0:
+            deliver = targets >= 0
+        for i in range(len(act)):
+            row = self._clock[act[i]]
+            if deliver is None:
+                np.maximum.at(row, targets[i], complete[i])
+            else:
+                d = deliver[i]
+                np.maximum.at(row, targets[i][d], complete[i][d])
+
+    def fold(
+        self,
+        rows: np.ndarray,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        arrived: Optional[np.ndarray] = None,
+    ) -> None:
+        """Fold one committed round's contacts into the clock matrix.
+
+        ``rows[i]`` is the rep row of contact ``i``; all contacts of one
+        call share the pre-round clock snapshot (a node's contacts
+        within a round are concurrent), so callers must issue exactly
+        one ``fold`` per logical round per contact group.  ``arrived``
+        masks deliveries; ``-1``/out-of-range destinations never fold
+        the receiver but still advance the initiator and ``sim_time``.
+        """
+        if self._delay.zero or len(rows) == 0:
+            return
+        self._materialise()
+        rows = np.asarray(rows, dtype=np.int64)
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        flat = self._clock.ravel()
+        src_keys = rows * self.n + srcs
+        starts = flat[src_keys]
+        complete = starts + self._delay.sample_batch(rows, srcs, dsts, self._rng)
+        np.maximum.at(flat, src_keys, complete)
+        deliver = (dsts >= 0) & (dsts < self.n)
+        if arrived is not None:
+            deliver &= np.asarray(arrived, dtype=bool)
+        if deliver.any():
+            np.maximum.at(
+                flat, rows[deliver] * self.n + dsts[deliver], complete[deliver]
+            )
+
+
+def make_batch_overlay(
+    spec: "EventSchedulerSpec",
+    topology,
+    n: int,
+    reps: int,
+    graph,
+    *,
+    base_seed: int,
+    first_rep: int,
+) -> BatchClockOverlay:
+    """Bind the batched clock overlay for one vector chunk.
+
+    Rep row ``i`` of the chunk is global replication ``first_rep + i``;
+    its bind-time delay fabric is drawn from
+    ``derive_seed(base_seed + first_rep + i, "delay")`` — the same
+    stream the sequential tier binds from at that rep's seed, so each
+    row's straggler set / edge weights are bit-identical to the
+    sequential run.  Per-message jitter shares one batch stream
+    (statistically equivalent, like the vector executors' shared
+    algorithm coins).  Raises ``ValueError`` for delay models without a
+    batched sampler — the caller surfaces that as a config error.
+    """
+    model = spec.resolve_delay(topology)
+    if not getattr(model, "batchable", False):
+        raise ValueError(
+            f"delay model '{model.name}' has no batched sampler "
+            f"(DelayModel.bind_batch); run it on the sequential tier "
+            f"with engine='reset'"
+        )
+    rep_rngs = [
+        make_rng(derive_seed(base_seed + first_rep + i, "delay"))
+        for i in range(reps)
+    ]
+    shared = make_rng(derive_seed(base_seed, "vector-delay", str(first_rep)))
+    bound = model.bind_batch(n, reps, graph, rep_rngs, shared)
+    # The complete graph (graph is None) never draws a -1 "nobody to
+    # call" sentinel, so the overlay and samplers can skip validity
+    # scans on the hot path.
+    bound.no_void = graph is None
+    return BatchClockOverlay(bound, shared, reps, n, model=model)
+
+
 @dataclass(frozen=True)
 class EventSchedulerSpec:
     """Frozen, picklable configuration of the event tier.
@@ -382,13 +615,29 @@ class EventSchedulerSpec:
             from repro.obs.trace import ContactTrace
 
             contacts = ContactTrace(net.n)
+        horizon = (
+            net.topology.diameter_hint(net.n) if net.topology is not None else None
+        )
+        events_cap = self.events_cap
+        if events_cap == DEFAULT_EVENTS_CAP and horizon is not None:
+            # The spec default sizes the debug queue by the flat
+            # complete-graph horizon; bound it by the topology's graph
+            # distance instead — a diameter-D graph needs ~n*D contact
+            # deliveries before the front closes, so hold that many
+            # before decimating (capped at 16x the default so a
+            # huge-diameter ring cannot demand an unbounded log).
+            # Explicit non-default caps are honoured verbatim.
+            events_cap = int(
+                min(max(events_cap, 2 * net.n * horizon), 16 * DEFAULT_EVENTS_CAP)
+            )
         return EventScheduler(
             bound,
             rng,
             model=model,
             record_events=self.record_events,
-            events_cap=self.events_cap,
+            events_cap=events_cap,
             contacts=contacts,
+            horizon=horizon,
         )
 
     def describe(self) -> str:

@@ -103,6 +103,20 @@ class Topology:
         """Short human-readable form for reports and catalogues."""
         return self._decorate(self.name)
 
+    def diameter_hint(self, n: int) -> Optional[int]:
+        """Graph-distance horizon of an ``n``-node bind, in hops.
+
+        An upper-bound estimate of the diameter (exact for the
+        deterministic topologies, w.h.p. for the random ones) — the
+        natural unit for round budgets: information needs at least one
+        round per hop, so ``max_rounds`` for spreading processes scales
+        with this instead of a hard-coded constant, and the event tier
+        sizes its contact-horizon bookkeeping by it.  ``None`` means the
+        spec offers no estimate (third-party topologies predating this
+        hook); callers must keep their own fallback.
+        """
+        return None
+
     def _decorate(self, base: str) -> str:
         """Append the delay annotation, when one is attached."""
         if self.delay is not None:
@@ -336,12 +350,40 @@ class DelayModel:
 
     name: ClassVar[str] = "delay"
     requires_graph: ClassVar[bool] = False
+    #: True when the model implements :meth:`bind_batch` — the batched
+    #: ``(R, n)`` clock overlay only accepts batchable models, and
+    #: third-party models predating the hook default to the sequential
+    #: tier (a clean config error under ``engine="vector"``, a logged
+    #: fallback under ``engine="auto"``).
+    batchable: ClassVar[bool] = False
 
     def bind(
         self, n: int, graph: "Optional[ContactGraph]", rng: np.random.Generator
     ) -> "BoundDelay":
         """Materialise the per-contact oracle for an ``n``-node network."""
         raise NotImplementedError
+
+    def bind_batch(
+        self,
+        n: int,
+        reps: int,
+        graph: "Optional[ContactGraph]",
+        rep_rngs: "list[np.random.Generator]",
+        rng: np.random.Generator,
+    ) -> "BatchBoundDelay":
+        """Materialise the batched oracle for ``reps`` stacked networks.
+
+        ``rep_rngs[i]`` is replication ``i``'s dedicated ``"delay"``
+        stream — bind-time randomness (straggler sets, edge weights)
+        must come from it so each row's delay fabric is bit-identical
+        to the sequential :meth:`bind` at the same seed.  ``rng`` is the
+        shared per-message stream for draws that are only required to be
+        identically distributed (jitter), mirroring how the vector
+        executors share one algorithm-coins stream per chunk.
+        """
+        raise NotImplementedError(
+            f"delay model '{self.name}' has no batched sampler"
+        )
 
     def describe(self) -> str:
         """Short human-readable form for reports and catalogues."""
@@ -384,6 +426,205 @@ class BoundDelay:
         raise NotImplementedError
 
 
+class BatchBoundDelay:
+    """A batch-bound delay oracle: per-contact latencies for ``reps``
+    stacked networks at once.
+
+    The ``(R, n)`` counterpart of :class:`BoundDelay`, consumed by the
+    vector engine's :class:`~repro.sim.schedule.BatchClockOverlay`.
+    ``constant`` keeps the scalar fast-path contract; otherwise
+    :meth:`sample_batch` returns a float64 array parallel to the
+    contact arrays, where ``rows[i]`` names the replication row contact
+    ``i`` belongs to (so per-rep fabric — straggler sets, edge weights
+    — indexes its own row).
+    """
+
+    #: Set by :func:`repro.sim.schedule.make_batch_overlay` when the
+    #: topology can never produce a ``-1`` "nobody to call" sentinel
+    #: (the complete graph) — samplers then skip validity scans.
+    no_void = False
+
+    def __init__(self, constant: Optional[float] = None) -> None:
+        self.constant = None if constant is None else float(constant)
+
+    @property
+    def zero(self) -> bool:
+        """True when every contact is instantaneous (zero latency)."""
+        return self.constant == 0.0
+
+    def sample_batch(
+        self,
+        rows: np.ndarray,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        rng: np.random.Generator,
+    ) -> "np.ndarray | float":
+        if self.constant is not None:
+            return self.constant
+        raise NotImplementedError
+
+    def sample_full(
+        self, rows: np.ndarray, targets: np.ndarray, rng: np.random.Generator
+    ) -> "np.ndarray | float":
+        """Delays for a full-participation round, ``(A, n)``-shaped.
+
+        Node ``j`` of rep row ``rows[i]`` dials ``targets[i, j]``
+        (``-1`` = nobody).  Same distribution as :meth:`sample_batch`,
+        but shaped for the overlay's two-dimensional hot path; the base
+        implementation expands to the sparse form, subclasses override
+        with row-gather formulations.
+        """
+        if self.constant is not None:
+            return self.constant
+        rows = np.asarray(rows, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        a, n = targets.shape
+        out = self.sample_batch(
+            np.repeat(rows, n),
+            np.tile(np.arange(n, dtype=np.int64), a),
+            targets.ravel(),
+            rng,
+        )
+        return np.asarray(out, dtype=np.float64).reshape(a, n)
+
+    def complete_full(
+        self,
+        clock_rows: np.ndarray,
+        rows: np.ndarray,
+        targets: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Completion times for a full round: ``clock_rows + delays``.
+
+        The overlay's fused hot path: returns a *fresh* ``(A, n)``
+        buffer (``clock_rows`` may be a view into the live clock matrix
+        and is never written).  Draws exactly the same stream as
+        :meth:`sample_full`; subclasses override only to skip the
+        intermediate delay matrix.
+        """
+        return clock_rows + self.sample_full(rows, targets, rng)
+
+
+class _BatchJitterBound(BatchBoundDelay):
+    def __init__(self, low: float, high: float) -> None:
+        super().__init__(constant=low if low == high else None)
+        self.low, self.high = low, high
+
+    def sample_batch(self, rows, srcs, dsts, rng):
+        if self.constant is not None:
+            return self.constant
+        return rng.uniform(self.low, self.high, size=len(np.asarray(srcs)))
+
+    def sample_full(self, rows, targets, rng):
+        if self.constant is not None:
+            return self.constant
+        return rng.uniform(self.low, self.high, size=np.asarray(targets).shape)
+
+    def complete_full(self, clock_rows, rows, targets, rng):
+        if self.constant is not None:
+            return clock_rows + self.constant
+        u = rng.uniform(self.low, self.high, size=np.asarray(targets).shape)
+        u += clock_rows
+        return u
+
+
+class _BatchSlowdownBound(BatchBoundDelay):
+    def __init__(self, slow: np.ndarray, base: float, factor: float) -> None:
+        super().__init__()
+        self._slow = slow  # (reps, n) bool
+        self._base = base
+        self._slowed = base * factor
+
+    def sample_batch(self, rows, srcs, dsts, rng):
+        rows = np.asarray(rows, dtype=np.int64)
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        n = self._slow.shape[1]
+        valid = (dsts >= 0) & (dsts < n)
+        hit = self._slow[rows, srcs] | (
+            valid & self._slow[rows, np.where(valid, dsts, 0)]
+        )
+        return np.where(hit, self._slowed, self._base)
+
+    def _hit_full(self, rows, targets):
+        # Sources are every node of each row in order, so the src-side
+        # gather is a plain row gather; only the target side needs a
+        # per-element lookup — a flat ``take`` against the full matrix
+        # (row offsets from the global rep rows), which beats
+        # ``take_along_axis`` about 2x at chunk sizes.
+        targets = np.asarray(targets)
+        rows = np.asarray(rows, dtype=np.int64)
+        reps, n = self._slow.shape
+        if len(rows) == reps and (
+            reps == 0 or (rows[0] == 0 and rows[-1] == reps - 1)
+        ):
+            slow_rows = self._slow  # sorted-unique full count: a view
+        else:
+            slow_rows = self._slow[rows]
+        kd = (
+            targets.dtype
+            if reps * n <= np.iinfo(targets.dtype).max
+            else np.int64
+        )
+        offsets = (rows * n).astype(kd, copy=False)[:, None]
+        flat = self._slow.ravel()
+        if self.no_void or targets.min() >= 0:
+            t_slow = flat.take(targets + offsets)
+            return np.logical_or(t_slow, slow_rows, out=t_slow)
+        valid = targets >= 0
+        t_slow = flat.take(np.where(valid, targets, 0) + offsets)
+        t_slow &= valid
+        return np.logical_or(t_slow, slow_rows, out=t_slow)
+
+    def sample_full(self, rows, targets, rng):
+        return np.where(self._hit_full(rows, targets), self._slowed, self._base)
+
+    def complete_full(self, clock_rows, rows, targets, rng):
+        hit = self._hit_full(rows, targets)
+        complete = clock_rows + self._base
+        np.add(complete, self._slowed - self._base, out=complete, where=hit)
+        return complete
+
+
+class _BatchEdgeBound(BatchBoundDelay):
+    """Per-rep undirected-edge weights over one shared CSR.
+
+    ``weights`` is ``(reps, m)`` over the undirected edge ids; the
+    shared ``inverse`` map (directed CSR entry -> undirected id) and the
+    graph's sorted edge keys resolve each contact to its edge, exactly
+    like the sequential :class:`_EdgeBound` but one row per rep.
+    Off-graph contacts fall back to ``default``.
+    """
+
+    def __init__(
+        self,
+        graph: ContactGraph,
+        weights: np.ndarray,
+        inverse: np.ndarray,
+        default: float,
+    ) -> None:
+        super().__init__()
+        self._graph = graph
+        self._weights = weights  # (reps, m) undirected-edge weights
+        self._inverse = inverse  # directed CSR entry -> undirected id
+        self._default = float(default)
+
+    def sample_batch(self, rows, srcs, dsts, rng):
+        g = self._graph
+        rows = np.asarray(rows, dtype=np.int64)
+        srcs = np.asarray(srcs, dtype=np.int64)
+        dsts = np.asarray(dsts, dtype=np.int64)
+        valid = (dsts >= 0) & (dsts < g.n)
+        keys = srcs * g.n + np.where(valid, dsts, 0)
+        edge_keys = g._edge_keys
+        out = np.full(len(keys), self._default, dtype=np.float64)
+        if len(edge_keys):
+            pos = np.minimum(np.searchsorted(edge_keys, keys), len(edge_keys) - 1)
+            hit = valid & (edge_keys[pos] == keys)
+            out[hit] = self._weights[rows[hit], self._inverse[pos[hit]]]
+        return out
+
+
 @dataclass(frozen=True)
 class ConstantDelay(DelayModel):
     """Every contact takes exactly ``delay`` time units.
@@ -395,6 +636,7 @@ class ConstantDelay(DelayModel):
     """
 
     name: ClassVar[str] = "constant"
+    batchable: ClassVar[bool] = True
     delay: float = 1.0
 
     def __post_init__(self) -> None:
@@ -403,6 +645,9 @@ class ConstantDelay(DelayModel):
 
     def bind(self, n, graph, rng) -> BoundDelay:
         return BoundDelay(constant=self.delay)
+
+    def bind_batch(self, n, reps, graph, rep_rngs, rng) -> BatchBoundDelay:
+        return BatchBoundDelay(constant=self.delay)
 
     def describe(self) -> str:
         return f"constant({self.delay:g})"
@@ -428,6 +673,7 @@ class UniformJitterDelay(DelayModel):
     """
 
     name: ClassVar[str] = "jitter"
+    batchable: ClassVar[bool] = True
     low: float = 0.5
     high: float = 1.5
 
@@ -440,6 +686,9 @@ class UniformJitterDelay(DelayModel):
 
     def bind(self, n, graph, rng) -> BoundDelay:
         return _JitterBound(self.low, self.high)
+
+    def bind_batch(self, n, reps, graph, rep_rngs, rng) -> BatchBoundDelay:
+        return _BatchJitterBound(self.low, self.high)
 
     def describe(self) -> str:
         return f"jitter({self.low:g},{self.high:g})"
@@ -472,6 +721,7 @@ class NodeSlowdownDelay(DelayModel):
     """
 
     name: ClassVar[str] = "straggler"
+    batchable: ClassVar[bool] = True
     base: float = 1.0
     fraction: float = 0.02
     factor: float = 10.0
@@ -491,6 +741,17 @@ class NodeSlowdownDelay(DelayModel):
         if not slow.any():
             slow[int(rng.integers(0, n))] = True
         return _NodeSlowdownBound(slow, self.base, self.factor)
+
+    def bind_batch(self, n, reps, graph, rep_rngs, rng) -> BatchBoundDelay:
+        slow = np.zeros((reps, n), dtype=bool)
+        for i, rep_rng in enumerate(rep_rngs):
+            # Replay the sequential bind draw order so row i's slow set
+            # is bit-identical to a sequential run at that rep's seed.
+            row = rep_rng.random(n) < self.fraction
+            if not row.any():
+                row[int(rep_rng.integers(0, n))] = True
+            slow[i] = row
+        return _BatchSlowdownBound(slow, self.base, self.factor)
 
     def describe(self) -> str:
         return (
@@ -548,6 +809,7 @@ class EdgeWeightedDelay(DelayModel):
 
     name: ClassVar[str] = "wan"
     requires_graph: ClassVar[bool] = True
+    batchable: ClassVar[bool] = True
     scale: float = 1.0
     sigma: float = 1.0
 
@@ -563,6 +825,14 @@ class EdgeWeightedDelay(DelayModel):
         weights = self.scale * rng.lognormal(0.0, self.sigma, size=m)
         return _EdgeBound(graph, weights[inverse], default=self.scale)
 
+    def bind_batch(self, n, reps, graph, rep_rngs, rng) -> BatchBoundDelay:
+        graph = self._require_graph(graph)
+        m, inverse = _undirected_edge_index(graph)
+        weights = np.empty((reps, m), dtype=np.float64)
+        for i, rep_rng in enumerate(rep_rngs):
+            weights[i] = self.scale * rep_rng.lognormal(0.0, self.sigma, size=m)
+        return _BatchEdgeBound(graph, weights, inverse, default=self.scale)
+
     def describe(self) -> str:
         return f"wan(scale={self.scale:g},sigma={self.sigma:g})"
 
@@ -576,6 +846,7 @@ class RateLimitedEdgeDelay(DelayModel):
 
     name: ClassVar[str] = "rate-limited"
     requires_graph: ClassVar[bool] = True
+    batchable: ClassVar[bool] = True
     base: float = 1.0
     fraction: float = 0.05
     factor: float = 20.0
@@ -598,6 +869,15 @@ class RateLimitedEdgeDelay(DelayModel):
         limited = rng.random(m) < self.fraction
         weights = np.where(limited, self.base * self.factor, self.base)
         return _EdgeBound(graph, weights[inverse], default=self.base)
+
+    def bind_batch(self, n, reps, graph, rep_rngs, rng) -> BatchBoundDelay:
+        graph = self._require_graph(graph)
+        m, inverse = _undirected_edge_index(graph)
+        weights = np.empty((reps, m), dtype=np.float64)
+        for i, rep_rng in enumerate(rep_rngs):
+            limited = rep_rng.random(m) < self.fraction
+            weights[i] = np.where(limited, self.base * self.factor, self.base)
+        return _BatchEdgeBound(graph, weights, inverse, default=self.base)
 
     def describe(self) -> str:
         return (
@@ -633,6 +913,11 @@ class CompleteGraph(Topology):
     def bind(self, n: int, rng: np.random.Generator) -> None:
         return None
 
+    def diameter_hint(self, n: int) -> int:
+        # Hop distance is 1, but the meaningful horizon for gossip on
+        # the clique is the O(log n) doubling time of the informed set.
+        return max(1, math.ceil(math.log2(max(n, 2))))
+
 
 @dataclass(frozen=True)
 class Ring(Topology):
@@ -663,6 +948,10 @@ class Ring(Topology):
         v = (u + np.tile(offsets, n)) % n
         indptr, indices = _csr_from_edges(n, u, v)
         return ContactGraph(self.describe(), n, indptr, indices)
+
+    def diameter_hint(self, n: int) -> int:
+        # Antipodal nodes are n/2 apart and each hop covers <= k.
+        return max(1, math.ceil(n / (2 * self.k)))
 
     def describe(self) -> str:
         return self._decorate(f"ring(k={self.k})")
@@ -704,6 +993,10 @@ class Torus2D(Topology):
         v = np.concatenate([right, down])
         indptr, indices = _csr_from_edges(n, u, v)
         return ContactGraph(self.describe(), n, indptr, indices)
+
+    def diameter_hint(self, n: int) -> int:
+        rows, cols = self.dims(n)
+        return max(1, rows // 2 + cols // 2)
 
     def describe(self) -> str:
         return self._decorate("torus")
@@ -776,6 +1069,14 @@ class RandomRegular(Topology):
         bad[order[dup_sorted]] = True
         return bad
 
+    def diameter_hint(self, n: int) -> int:
+        if self.d <= 2:
+            # Degenerate: a union of paths/cycles, ring-like distances.
+            return max(1, n // 2)
+        # Random d-regular diameter ~ log_{d-1} n w.h.p.; +1 slack for
+        # the second-order term.
+        return max(1, math.ceil(math.log(max(n, 2)) / math.log(self.d - 1)) + 1)
+
     def describe(self) -> str:
         return self._decorate(f"random-regular(d={self.d})")
 
@@ -832,6 +1133,13 @@ class ErdosRenyiGnp(Topology):
         i = np.where(k >= row_start(i + 1), i + 1, i)
         j = k - row_start(i) + i + 1
         return i, j
+
+    def diameter_hint(self, n: int) -> int:
+        p = self.p if self.p is not None else min(1.0, 2.0 * math.log(max(n, 2)) / n)
+        avg_degree = max(p * (n - 1), 2.0)
+        # Supercritical G(n, p) diameter ~ ln n / ln(np) w.h.p.; +1
+        # slack for the sparse-regime correction.
+        return max(1, math.ceil(math.log(max(n, 2)) / math.log(avg_degree)) + 1)
 
     def describe(self) -> str:
         return self._decorate("gnp" if self.p is None else f"gnp(p={self.p:g})")

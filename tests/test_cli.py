@@ -166,8 +166,9 @@ class TestSchedulerFlags:
              "--reps", "3", "--scheduler", "event"]
         )
         assert rc == 0
-        # The event tier has no (R, n) clock overlay: auto falls back.
-        assert "vector" not in capsys.readouterr().out
+        # The event tier rides the vector engine through the batched
+        # clock overlay: auto no longer falls back to reset.
+        assert "vector" in capsys.readouterr().out
 
     def test_sweep_event_tier(self, capsys):
         rc = main(

@@ -265,16 +265,33 @@ class TestThreading:
             sim_time = summary.metrics["sim_time"]
             assert sim_time.mean == pytest.approx(single.extras["sim_time"])
 
-    def test_vector_engine_rejects_event_tier(self):
-        with pytest.raises(ValueError, match="round-scheduler"):
-            run_replications(256, "push-pull", reps=2, engine="vector", scheduler="event")
+    def test_vector_engine_rejects_traced_event_tier(self):
+        # The batchable event tier rides the vector engine now; tracing
+        # is what still pins a run to the sequential scheduler.
+        with pytest.raises(ValueError, match="sequential"):
+            run_replications(
+                256,
+                "push-pull",
+                reps=2,
+                engine="vector",
+                scheduler="event",
+                trace=True,
+            )
 
-    def test_auto_engine_falls_back_under_event_tier(self):
+    def test_auto_engine_rides_vector_under_event_tier(self):
         summary = run_replications(
             256, "push-pull", reps=2, engine="auto", scheduler="event"
         )
+        assert summary.engine == "vector"
+        assert "sim_time" in summary.metrics
+
+    def test_auto_engine_falls_back_under_traced_event_tier(self):
+        summary = run_replications(
+            256, "push-pull", reps=2, engine="auto", scheduler="event", trace=True
+        )
         assert summary.engine != "vector"
         assert "sim_time" in summary.metrics
+        assert "engine_fallback" in summary.extras
 
     def test_run_spec_threads_scheduler(self):
         rec = run_once("push-pull", 128, 1, scheduler="event")
